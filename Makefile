@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One quick pass over every figure/ablation benchmark.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Paper-scale regeneration of every figure (minutes).
+experiments:
+	$(GO) run ./cmd/rodain-experiments -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/recovery
+	$(GO) run ./examples/numbertranslation
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/billing
+	$(GO) run ./examples/sharded
+	$(GO) run ./examples/simulation -count 2500 -reps 3
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

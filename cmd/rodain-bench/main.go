@@ -1,0 +1,144 @@
+// Command rodain-bench drives a live rodaind node through its client
+// protocol with the paper's workload — a Poisson mix of read-only
+// TRANSLATE and update REROUTE service-provision transactions — and
+// reports the measured miss ratio and latency, like the prototype's
+// interface process reading an off-line generated test file.
+//
+//	rodain-bench -addr 127.0.0.1:7100 -rate 200 -writes 0.05 -count 10000
+//	rodain-bench -addr 127.0.0.1:7100 -trace session.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7100", "node service address")
+		rate     = flag.Float64("rate", 200, "mean arrival rate, transactions/second")
+		writes   = flag.Float64("writes", 0.05, "update-transaction fraction")
+		count    = flag.Int("count", 10000, "transactions in the session")
+		dbSize   = flag.Int("db", 30000, "provisioned number range")
+		deadline = flag.Int("deadline", 50, "firm deadline (ms) announced to the node")
+		conns    = flag.Int("conns", 16, "client connections")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		trace    = flag.String("trace", "", "replay this trace file instead of generating")
+		emit     = flag.String("emit", "", "write the generated trace to this file and exit")
+	)
+	flag.Parse()
+
+	cfg := workload.Default()
+	cfg.ArrivalRate = *rate
+	cfg.WriteFraction = *writes
+	cfg.Count = *count
+	cfg.DBSize = *dbSize
+	cfg.Seed = *seed
+
+	var specs []*workload.Spec
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		specs = workload.NewGenerator(cfg).All()
+	}
+	if *emit != "" {
+		f, err := os.Create(*emit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := workload.WriteTrace(f, specs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d transactions to %s", len(specs), *emit)
+		return
+	}
+
+	clients := make([]*service.Client, *conns)
+	for i := range clients {
+		c, err := service.Dial(*addr, 5*time.Second)
+		if err != nil {
+			log.Fatalf("dial %s: %v", *addr, err)
+		}
+		defer c.Close()
+		if _, err := c.Do(fmt.Sprintf("DEADLINE %d", *deadline)); err != nil {
+			log.Fatal(err)
+		}
+		clients[i] = c
+	}
+
+	var (
+		ok, miss, errs atomic.Uint64
+		latSum         atomic.Int64
+		wg             sync.WaitGroup
+		sem            = make(chan *service.Client, len(clients))
+	)
+	for _, c := range clients {
+		sem <- c
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	for i, spec := range specs {
+		// Pace requests to the trace's arrival times.
+		if sleep := time.Duration(spec.Arrival) - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		line := fmt.Sprintf("TRANSLATE %d", uint64(spec.Reads[0]))
+		if spec.IsWrite() {
+			line = fmt.Sprintf("REROUTE %d +35840%07d", uint64(spec.Writes[0]), rng.Intn(10000000))
+		}
+		c := <-sem
+		wg.Add(1)
+		go func(i int, line string) {
+			defer wg.Done()
+			defer func() { sem <- c }()
+			t0 := time.Now()
+			resp, err := c.Do(line)
+			latSum.Add(int64(time.Since(t0)))
+			switch {
+			case err != nil:
+				errs.Add(1)
+			case service.Miss(resp):
+				miss.Add(1)
+			case service.OK(resp):
+				ok.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}(i, line)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := ok.Load() + miss.Load() + errs.Load()
+	fmt.Printf("session: %d transactions in %v (offered %.0f tps, achieved %.0f tps)\n",
+		total, elapsed.Round(time.Millisecond), *rate, float64(total)/elapsed.Seconds())
+	fmt.Printf("committed %d, missed %d (%.2f%%), errors %d\n",
+		ok.Load(), miss.Load(), 100*float64(miss.Load())/float64(total), errs.Load())
+	if total > 0 {
+		fmt.Printf("mean client-observed latency: %v\n",
+			(time.Duration(latSum.Load()) / time.Duration(total)).Round(time.Microsecond))
+	}
+	if stats, err := clients[0].Do("STATS"); err == nil {
+		fmt.Printf("node: %s\n", stats)
+	}
+}

@@ -1,0 +1,98 @@
+// Command rodain-logdump inspects a RODAIN log file: it prints records,
+// summarizes committed and uncommitted transactions, and can dry-run the
+// recovery pass.
+//
+//	rodain-logdump primary.wal
+//	rodain-logdump -recover -v primary.wal
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+func main() {
+	var (
+		verbose  = flag.Bool("v", false, "print every record")
+		recover_ = flag.Bool("recover", false, "dry-run the recovery pass and report the resulting database")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rodain-logdump [-v] [-recover] <logfile>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	if *recover_ {
+		db := store.New()
+		st, err := wal.Recover(f, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovery: %d transactions applied, %d writes, %d uncommitted discarded\n",
+			st.Applied, st.WritesApplied, st.Discarded)
+		fmt.Printf("          last serial %d, truncated tail: %v, peak buffered records: %d\n",
+			st.LastSerial, st.Truncated, st.PeakBuffered)
+		fmt.Printf("database: %d objects, checksum %08x\n", db.Len(), db.Checksum())
+		return
+	}
+
+	var (
+		records, writes, deletes, commits, aborts, heartbeats int
+		bytesTotal                                            int
+		committed                                             = map[uint64]bool{}
+		seen                                                  = map[uint64]bool{}
+	)
+	for {
+		rec, err := wal.Decode(f)
+		if err != nil {
+			switch {
+			case err == io.EOF:
+			case err == io.ErrUnexpectedEOF || errors.Is(err, wal.ErrCorrupt):
+				fmt.Printf("-- truncated/corrupt tail after %d records --\n", records)
+			default:
+				log.Fatal(err)
+			}
+			break
+		}
+		records++
+		bytesTotal += wal.EncodedSize(rec)
+		seen[uint64(rec.TxnID)] = true
+		switch rec.Type {
+		case wal.TypeWrite:
+			writes++
+		case wal.TypeDelete:
+			deletes++
+		case wal.TypeCommit:
+			commits++
+			committed[uint64(rec.TxnID)] = true
+		case wal.TypeAbort:
+			aborts++
+		case wal.TypeHeartbeat:
+			heartbeats++
+		}
+		if *verbose {
+			fmt.Println(rec)
+		}
+	}
+	uncommitted := 0
+	for id := range seen {
+		if !committed[id] {
+			uncommitted++
+		}
+	}
+	fmt.Printf("%d records (%d bytes): %d writes, %d deletes, %d commits, %d aborts, %d heartbeats\n",
+		records, bytesTotal, writes, deletes, commits, aborts, heartbeats)
+	fmt.Printf("%d transactions touched, %d without a commit record\n", len(seen), uncommitted)
+}

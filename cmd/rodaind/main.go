@@ -1,0 +1,164 @@
+// Command rodaind runs one RODAIN database node: the primary of a pair,
+// its hot stand-by mirror, or a standalone single node.
+//
+// A primary:
+//
+//	rodaind -role primary -listen :7100 -repl :7000 -db 30000 -log primary.wal
+//
+// Its mirror (takes over and serves on -listen if the primary dies):
+//
+//	rodaind -role mirror -peer primaryhost:7000 -repl :7000 -listen :7100 -log mirror.wal
+//
+// Clients speak the line protocol of internal/service on -listen
+// (GET/SET/TRANSLATE/REROUTE/STATS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rodain "repro"
+	"repro/internal/service"
+	"repro/internal/telecom"
+)
+
+func main() {
+	var (
+		role       = flag.String("role", "single", "node role: single, primary, or mirror")
+		listen     = flag.String("listen", "127.0.0.1:7100", "client service address")
+		repl       = flag.String("repl", "", "replication listen address (primary; mirror after takeover)")
+		peer       = flag.String("peer", "", "primary replication address (mirror role)")
+		dbSize     = flag.Int("db", 30000, "number-translation entries to populate")
+		logPath    = flag.String("log", "", "log file (empty: in-memory)")
+		durability = flag.String("durability", "disk", "single-node commit path: disk, relaxed, none")
+		protocol   = flag.String("occ", "dati", "concurrency control: dati, ti, da, bc")
+		workers    = flag.Int("workers", 2, "executor goroutines")
+		recover_   = flag.String("recover", "", "replay this log file into the database before serving")
+		ckptDir    = flag.String("checkpoint-dir", "", "write periodic checkpoints here (and truncate the log)")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -checkpoint-dir is set")
+		groupWin   = flag.Duration("group-commit", 0, "batch disk commits within this window (0 = sync per commit, the paper's behaviour)")
+	)
+	flag.Parse()
+
+	opts := rodain.Options{
+		Name:              fmt.Sprintf("rodaind-%s", *role),
+		LogPath:           *logPath,
+		Protocol:          *protocol,
+		Workers:           *workers,
+		GroupCommitWindow: *groupWin,
+	}
+	switch *durability {
+	case "disk":
+		opts.Durability = rodain.DurDisk
+	case "relaxed":
+		opts.Durability = rodain.DurRelaxed
+	case "none":
+		opts.Durability = rodain.DurNone
+	default:
+		log.Fatalf("unknown durability %q", *durability)
+	}
+
+	var (
+		db  *rodain.DB
+		err error
+	)
+	switch *role {
+	case "single":
+		db, err = rodain.Open(opts)
+	case "primary":
+		if *repl == "" {
+			log.Fatal("-role primary needs -repl")
+		}
+		db, err = rodain.OpenPrimary(opts, *repl)
+	case "mirror":
+		if *peer == "" {
+			log.Fatal("-role mirror needs -peer")
+		}
+		db, err = rodain.OpenMirror(opts, *peer, *repl)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	defer db.Close()
+
+	if *recover_ != "" {
+		if err := recoverInto(db, *recover_); err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+	}
+	if *role != "mirror" && db.Len() == 0 && *dbSize > 0 {
+		log.Printf("populating %d number-translation entries", *dbSize)
+		for i := 0; i < *dbSize; i++ {
+			db.Load(rodain.ObjectID(i), telecom.Encode(&telecom.Entry{
+				Routed:  fmt.Sprintf("+35850%07d", i),
+				Weight:  100,
+				Active:  true,
+				Version: 1,
+			}))
+		}
+	}
+
+	srv := service.NewServer(db)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("service listen: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("node %s serving clients on %s (repl %s)", *role, addr, db.ReplAddr())
+
+	go func() {
+		for ev := range db.Events() {
+			log.Printf("event: %v %s", ev.Kind, ev.Detail)
+		}
+	}()
+
+	if *ckptDir != "" {
+		// Recover from an existing checkpoint first, then checkpoint
+		// periodically: the checkpoint-and-truncate cycle that bounds
+		// restart recovery.
+		if st, err := db.RecoverFromDir(*ckptDir, nil); err != nil {
+			log.Printf("checkpoint recovery: %v", err)
+		} else if st.LastSerial > 0 {
+			log.Printf("restored checkpoint at serial %d", st.LastSerial)
+		}
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for range t.C {
+				serial, err := db.CheckpointToDir(*ckptDir)
+				if err != nil {
+					log.Printf("checkpoint: %v", err)
+					continue
+				}
+				log.Printf("checkpoint written at serial %d", serial)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down; final stats: %+v", db.Stats().Outcome)
+}
+
+func recoverInto(db *rodain.DB, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := db.Recover(f)
+	if err != nil {
+		return err
+	}
+	log.Printf("recovered %d transactions (%d writes, truncated=%v)",
+		st.Applied, st.WritesApplied, st.Truncated)
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package cluster distributes a database over several RODAIN pairs.
+// Distribution is one of the requirements the RODAIN architecture lists
+// (each node in the architecture diagram carries a "Distributed Database
+// Management" subsystem): the key space is partitioned into shards, each
+// shard is one primary+mirror pair, and every transaction executes on
+// the single node that owns its keys — exactly the paper's execution
+// model, scaled out.
+//
+// The cluster offers no cross-shard transactions (RODAIN transactions
+// run on one node; there is no two-phase commit here). A transaction
+// that needs keys from several shards must be split by the application;
+// ScatterView helps with read-only fan-outs but gives only per-shard
+// consistency.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	rodain "repro"
+)
+
+// Cluster routes transactions to the RODAIN pair owning their keys.
+type Cluster struct {
+	shards  [][]*rodain.DB // members of each shard (any order; the serving one is found)
+	timeout time.Duration
+}
+
+// New builds a cluster from shard member lists. Each inner slice holds
+// the nodes of one pair (primary and mirror, in any order — the cluster
+// finds whichever is serving). timeout bounds how long a routed
+// transaction may spend waiting out a takeover.
+func New(shards [][]*rodain.DB, timeout time.Duration) (*Cluster, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	for i, members := range shards {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no members", i)
+		}
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Cluster{shards: shards, timeout: timeout}, nil
+}
+
+// Shards reports the number of shards.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// ShardFor maps a key to its owning shard: a multiplicative hash so that
+// dense key ranges still spread evenly.
+func (c *Cluster) ShardFor(id rodain.ObjectID) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(c.shards)))
+}
+
+// Load bulk-inserts a value on its owning shard's serving node. Like
+// rodain.DB.Load it bypasses logging and replication: use it only before
+// mirrors attach, and use Update for replicated inserts.
+func (c *Cluster) Load(id rodain.ObjectID, value []byte) error {
+	db, err := c.serving(c.ShardFor(id))
+	if err != nil {
+		return err
+	}
+	db.Load(id, value)
+	return nil
+}
+
+// Get reads the latest committed value from the owning shard.
+func (c *Cluster) Get(id rodain.ObjectID) ([]byte, bool) {
+	db, err := c.serving(c.ShardFor(id))
+	if err != nil {
+		return nil, false
+	}
+	return db.Get(id)
+}
+
+// Update runs fn as a firm-deadline transaction on the shard owning key.
+// Every object the transaction touches must belong to that shard — the
+// routing key is the application's promise, like a partition key in any
+// sharded store.
+func (c *Cluster) Update(key rodain.ObjectID, deadline time.Duration, fn func(*rodain.Tx) error) error {
+	return c.execute(c.ShardFor(key), func(db *rodain.DB) error {
+		return db.Update(deadline, fn)
+	})
+}
+
+// View runs fn as a read-only transaction on the shard owning key.
+func (c *Cluster) View(key rodain.ObjectID, deadline time.Duration, fn func(*rodain.Tx) error) error {
+	return c.execute(c.ShardFor(key), func(db *rodain.DB) error {
+		return db.View(deadline, fn)
+	})
+}
+
+// ScatterView runs one read-only transaction per shard (fn receives the
+// shard index). Each shard's view is transactionally consistent; the
+// combination across shards is not — there is no global snapshot.
+func (c *Cluster) ScatterView(deadline time.Duration, fn func(shard int, tx *rodain.Tx) error) error {
+	errs := make(chan error, len(c.shards))
+	for i := range c.shards {
+		i := i
+		go func() {
+			errs <- c.execute(i, func(db *rodain.DB) error {
+				return db.View(deadline, func(tx *rodain.Tx) error { return fn(i, tx) })
+			})
+		}()
+	}
+	var first error
+	for range c.shards {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// execute runs op on the shard's serving member, waiting out takeovers
+// within the cluster timeout.
+func (c *Cluster) execute(shard int, op func(*rodain.DB) error) error {
+	deadline := time.Now().Add(c.timeout)
+	var lastErr error
+	for {
+		for _, db := range c.shards[shard] {
+			err := op(db)
+			if err == nil ||
+				(!errors.Is(err, rodain.ErrNotServing) && !errors.Is(err, rodain.ErrClosed)) {
+				return err
+			}
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: shard %d has no serving node: %w", shard, lastErr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// serving returns the shard's currently serving member.
+func (c *Cluster) serving(shard int) (*rodain.DB, error) {
+	deadline := time.Now().Add(c.timeout)
+	for {
+		for _, db := range c.shards[shard] {
+			if db.Serving() {
+				return db, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: shard %d has no serving node", shard)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stats aggregates the outcome tallies of every shard's serving node.
+func (c *Cluster) Stats() []rodain.Stats {
+	out := make([]rodain.Stats, len(c.shards))
+	for i := range c.shards {
+		if db, err := c.serving(i); err == nil {
+			out[i] = db.Stats()
+		}
+	}
+	return out
+}

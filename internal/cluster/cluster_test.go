@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	rodain "repro"
+)
+
+// startShardPair boots one primary+mirror pair for a shard.
+func startShardPair(t *testing.T, name string) (*rodain.DB, *rodain.DB) {
+	t.Helper()
+	opts := rodain.Options{
+		Name:            name,
+		Workers:         2,
+		HeartbeatEvery:  25 * time.Millisecond,
+		HeartbeatMisses: 4,
+	}
+	primary, err := rodain.OpenPrimary(opts, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := rodain.OpenMirror(opts, primary.ReplAddr(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		primary.Close()
+		mirror.Close()
+	})
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev := <-primary.Events():
+			if ev.Kind == rodain.EventMirrorAttached {
+				return primary, mirror
+			}
+		case <-deadline:
+			t.Fatal("mirror never attached")
+		}
+	}
+}
+
+func newTestCluster(t *testing.T, shards int) (*Cluster, [][]*rodain.DB) {
+	t.Helper()
+	members := make([][]*rodain.DB, shards)
+	for i := range members {
+		p, m := startShardPair(t, fmt.Sprintf("shard%d", i))
+		members[i] = []*rodain.DB{p, m}
+	}
+	c, err := New(members, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, members
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := New([][]*rodain.DB{{}}, 0); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}
+
+func TestRoutingIsStableAndSpread(t *testing.T) {
+	c, _ := newTestCluster(t, 3)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		s := c.ShardFor(rodain.ObjectID(i))
+		if s != c.ShardFor(rodain.ObjectID(i)) {
+			t.Fatal("routing not stable")
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 600 || n > 1400 {
+			t.Fatalf("shard %d got %d of 3000 keys — poor spread", s, n)
+		}
+	}
+}
+
+func TestUpdateAndViewRouted(t *testing.T) {
+	c, members := newTestCluster(t, 2)
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := c.Load(rodain.ObjectID(i), []byte("init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		id := rodain.ObjectID(i)
+		err := c.Update(id, time.Second, func(tx *rodain.Tx) error {
+			return tx.Write(id, []byte(fmt.Sprintf("updated-%d", i)))
+		})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		id := rodain.ObjectID(i)
+		var got []byte
+		err := c.View(id, time.Second, func(tx *rodain.Tx) error {
+			v, err := tx.Read(id)
+			got = v
+			return err
+		})
+		if err != nil || string(got) != fmt.Sprintf("updated-%d", i) {
+			t.Fatalf("view %d: %q %v", i, got, err)
+		}
+	}
+	// The shards hold disjoint key subsets that sum to the whole.
+	total := 0
+	for _, m := range members {
+		total += m[0].Len()
+	}
+	if total != keys {
+		t.Fatalf("shard sizes sum to %d, want %d", total, keys)
+	}
+	for _, m := range members {
+		if m[0].Len() == 0 {
+			t.Fatal("a shard holds no keys — routing is degenerate")
+		}
+	}
+}
+
+func TestWrongShardKeyMissing(t *testing.T) {
+	c, _ := newTestCluster(t, 2)
+	if err := c.Load(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Reading key 1 while routing by some other shard's key fails: the
+	// object lives elsewhere.
+	other := rodain.ObjectID(0)
+	for c.ShardFor(other) == c.ShardFor(1) {
+		other++
+	}
+	err := c.View(other, time.Second, func(tx *rodain.Tx) error {
+		_, err := tx.Read(1)
+		return err
+	})
+	if err == nil {
+		t.Fatal("cross-shard read succeeded — partitioning is broken")
+	}
+}
+
+func TestScatterView(t *testing.T) {
+	c, _ := newTestCluster(t, 3)
+	for i := 0; i < 300; i++ {
+		if err := c.Load(rodain.ObjectID(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make([]bool, 3)
+	err := c.ScatterView(time.Second, func(shard int, tx *rodain.Tx) error {
+		seen[shard] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("shard %d not visited", s)
+		}
+	}
+	boom := errors.New("boom")
+	err = c.ScatterView(time.Second, func(shard int, tx *rodain.Tx) error {
+		if shard == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("scatter error = %v", err)
+	}
+}
+
+func TestClusterSurvivesShardFailover(t *testing.T) {
+	c, members := newTestCluster(t, 2)
+	// Find a key on shard 0 and commit through the cluster.
+	key := rodain.ObjectID(0)
+	for c.ShardFor(key) != 0 {
+		key++
+	}
+	if err := c.Load(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(key, time.Second, func(tx *rodain.Tx) error {
+		return tx.Write(key, []byte("v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 0's primary; the cluster routes to the promoted mirror.
+	members[0][0].Crash()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := c.Update(key, time.Second, func(tx *rodain.Tx) error {
+			v, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			if string(v) != "v2" {
+				return fmt.Errorf("lost committed data: %q", v)
+			}
+			return tx.Write(key, []byte("v3"))
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered shard 0: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Other shards were unaffected throughout.
+	other := rodain.ObjectID(0)
+	for c.ShardFor(other) != 1 {
+		other++
+	}
+	if err := c.Load(other, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.View(other, time.Second, func(tx *rodain.Tx) error {
+		_, err := tx.Read(other)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d shards", len(stats))
+	}
+}
+
+func TestShardsCount(t *testing.T) {
+	c, _ := newTestCluster(t, 2)
+	if c.Shards() != 2 {
+		t.Fatalf("Shards = %d", c.Shards())
+	}
+}
+
+func TestClusterTimesOutWithNoServingNode(t *testing.T) {
+	// A shard whose only member is a mirror that never promotes: the
+	// cluster gives up within its timeout.
+	opts := rodain.Options{Workers: 1}
+	primary, err := rodain.OpenPrimary(opts, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := rodain.OpenMirror(opts, primary.ReplAddr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	defer mirror.Close()
+
+	c, err := New([][]*rodain.DB{{mirror}}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = c.Update(1, time.Second, func(tx *rodain.Tx) error { return nil })
+	if err == nil {
+		t.Fatal("mirror-only shard accepted a transaction")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cluster did not respect its timeout")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("Get from mirror-only shard succeeded")
+	}
+}

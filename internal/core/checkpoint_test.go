@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/logstore"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+func TestCheckpointRoundTripThroughNode(t *testing.T) {
+	log := logstore.NewMem()
+	n := NewNode("cp", fastCfg(), newDBWith(200), log)
+	if err := n.ServePrimary("", LogDisk); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for i := 0; i < 30; i++ {
+		if err := n.Execute(Request{Deadline: time.Second, Do: func(tx *Tx) error {
+			return tx.Write(store.ObjectID(i), []byte("checkpointed"))
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	serial, err := n.Checkpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 30 {
+		t.Fatalf("serial = %d, want 30", serial)
+	}
+	snap, gotSerial, err := wal.ReadCheckpoint(&buf)
+	if err != nil || gotSerial != 30 {
+		t.Fatalf("read: %v serial=%d", err, gotSerial)
+	}
+	restored := store.New()
+	restored.LoadSnapshot(snap)
+	if restored.Checksum() != n.DB().Checksum() {
+		t.Fatal("checkpoint does not reproduce the database")
+	}
+}
+
+func TestCheckpointOnMirrorFails(t *testing.T) {
+	n := NewNode("m", fastCfg(), store.New(), logstore.NewMem())
+	var buf bytes.Buffer
+	if _, err := n.Checkpoint(&buf); err != ErrNotServing {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointToDirAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	log := logstore.NewMem()
+	n := NewNode("cp", fastCfg(), newDBWith(100), log)
+	if err := n.ServePrimary("", LogDisk); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: commits, then checkpoint (which truncates the log).
+	for i := 0; i < 10; i++ {
+		if err := n.Execute(Request{Deadline: time.Second, Do: func(tx *Tx) error {
+			return tx.Write(store.ObjectID(i), []byte("phase-1"))
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, err := n.CheckpointToDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 10 {
+		t.Fatalf("serial = %d", serial)
+	}
+	if len(log.Bytes()) != 0 {
+		t.Fatalf("log not truncated: %d bytes", len(log.Bytes()))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: more commits into the fresh log tail, then crash.
+	for i := 10; i < 20; i++ {
+		if err := n.Execute(Request{Deadline: time.Second, Do: func(tx *Tx) error {
+			return tx.Write(store.ObjectID(i), []byte("phase-2"))
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := n.DB().Checksum()
+	n.Crash()
+
+	// Recovery: checkpoint + log tail reproduces everything.
+	n2 := NewNode("re", fastCfg(), store.New(), logstore.NewMem())
+	st, err := n2.RecoverFromDir(dir, bytes.NewReader(log.SyncedBytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 10 {
+		t.Fatalf("tail applied = %d, want 10", st.Applied)
+	}
+	if st.LastSerial != 20 {
+		t.Fatalf("LastSerial = %d, want 20", st.LastSerial)
+	}
+	if n2.DB().Checksum() != want {
+		t.Fatal("recovered database differs")
+	}
+	// The recovered node serves and continues the epoch.
+	if err := n2.ServePrimary("", LogDisk); err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	if err := n2.Execute(Request{Deadline: time.Second, Do: func(tx *Tx) error {
+		return tx.Write(1, []byte("phase-3"))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverFromDirWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	log := logstore.NewMem()
+	n1 := NewNode("a", fastCfg(), newDBWith(10), log)
+	n1.ServePrimary("", LogDisk)
+	n1.Execute(Request{Deadline: time.Second, Do: func(tx *Tx) error {
+		return tx.Write(1, []byte("only-log"))
+	}})
+	n1.Crash()
+
+	n2 := NewNode("b", fastCfg(), newDBWith(10), logstore.NewMem())
+	st, err := n2.RecoverFromDir(dir, bytes.NewReader(log.SyncedBytes()))
+	if err != nil || st.Applied != 1 {
+		t.Fatalf("recover: %+v %v", st, err)
+	}
+	v, _ := n2.DB().Get(1)
+	if string(v) != "only-log" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestRecoverFromDirCheckpointOnly(t *testing.T) {
+	dir := t.TempDir()
+	n1 := NewNode("a", fastCfg(), newDBWith(50), logstore.NewMem())
+	n1.ServePrimary("", LogDisk)
+	if _, err := n1.CheckpointToDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := n1.DB().Checksum()
+	n1.Crash()
+
+	n2 := NewNode("b", fastCfg(), store.New(), logstore.NewMem())
+	if _, err := n2.RecoverFromDir(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n2.DB().Checksum() != want {
+		t.Fatal("checkpoint-only recovery differs")
+	}
+}
+
+func TestRecoverFromDirBadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.ckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode("x", fastCfg(), store.New(), logstore.NewMem())
+	if _, err := n.RecoverFromDir(dir, nil); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+// TestMirrorWatchdogTimeout exercises the heartbeat-timeout detection
+// path: a primary that goes silent (without closing the connection) must
+// be declared dead after HeartbeatMisses × HeartbeatEvery.
+func TestMirrorWatchdogTimeout(t *testing.T) {
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A fake primary: completes the handshake, pings once (so the
+	// mirror considers the stream live), then hangs.
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Recv(); err != nil { // hello
+			return
+		}
+		conn.Send(&transport.Msg{Type: transport.MsgPing})
+		time.Sleep(10 * time.Second) // silence
+	}()
+
+	cfg := fastCfg() // 25ms × 4 = 100ms watchdog
+	m := NewMirrorEngine(cfg, store.New(), logstore.NewMem())
+	conn, err := transport.Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = m.Run(conn)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("silent primary not detected")
+	}
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("detection after %v — too fast for a watchdog timeout", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("detection took %v — watchdog did not fire", elapsed)
+	}
+}

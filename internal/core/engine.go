@@ -1,0 +1,436 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/occ"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Errors surfaced to transaction submitters.
+var (
+	// ErrOverload: the overload manager denied admission.
+	ErrOverload = errors.New("core: admission denied by overload manager")
+	// ErrDeadline: a firm deadline expired before commit.
+	ErrDeadline = errors.New("core: firm deadline expired")
+	// ErrConflict: concurrency control aborted the transaction after
+	// exhausting its restarts.
+	ErrConflict = errors.New("core: concurrency-control conflict")
+	// ErrNodeFailure: the node failed mid-commit.
+	ErrNodeFailure = errors.New("core: node failure during commit")
+)
+
+// internal restart signal raised by Tx operations on doomed transactions.
+var errRestart = errors.New("core: restart requested")
+
+// Request is one client transaction to execute.
+type Request struct {
+	// Class is the criticality class (default Firm).
+	Class txn.Class
+	// Deadline is the relative firm/soft deadline; ignored for
+	// NonRealTime requests. Zero means NoDeadline.
+	Deadline time.Duration
+	// Criticality orders transactions of equal class under overload.
+	Criticality int
+	// Do is the transaction body. It may run several times (restarts);
+	// it must be a pure function of the Tx reads.
+	Do func(*Tx) error
+}
+
+// Tx is the operation surface a transaction body sees. Reads and writes
+// are transactional: writes are deferred to the private workspace and
+// reads see them (read-your-writes).
+type Tx struct {
+	e *Engine
+	t *txn.Transaction
+}
+
+// ID reports the transaction id.
+func (x *Tx) ID() txn.ID { return x.t.ID }
+
+// Restarts reports how many times this transaction has been restarted.
+func (x *Tx) Restarts() int { return x.t.Restarts }
+
+// Read returns the value of id. It fails with errRestart (internally
+// retried) when the transaction has been doomed by a conflicting commit,
+// with ErrDeadline past a firm deadline, and reports missing objects.
+func (x *Tx) Read(id store.ObjectID) ([]byte, error) {
+	if err := x.check(); err != nil {
+		return nil, err
+	}
+	v, ok := x.t.Read(x.e.db, id)
+	if !ok {
+		return nil, fmt.Errorf("core: object %d does not exist", id)
+	}
+	if wts, observed := x.t.ObservedWriteTS(id); observed {
+		if !x.e.ctl.OnRead(x.t, id, wts) {
+			return nil, errRestart
+		}
+	}
+	return v, nil
+}
+
+// Delete stages a deletion of id in the private workspace. For
+// concurrency control a delete is a write.
+func (x *Tx) Delete(id store.ObjectID) error {
+	if err := x.check(); err != nil {
+		return err
+	}
+	x.t.StageDelete(id)
+	if !x.e.ctl.OnWrite(x.t, id) {
+		return errRestart
+	}
+	return nil
+}
+
+// Write stages an after image for id in the private workspace.
+func (x *Tx) Write(id store.ObjectID, value []byte) error {
+	if err := x.check(); err != nil {
+		return err
+	}
+	x.t.StageWrite(id, value)
+	if !x.e.ctl.OnWrite(x.t, id) {
+		return errRestart
+	}
+	return nil
+}
+
+func (x *Tx) check() error {
+	if _, dead := x.e.ctl.Doomed(x.t); dead {
+		return errRestart
+	}
+	if x.t.Class == txn.Firm && x.t.Expired(x.e.clock.Now()) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// job couples a queued transaction with its submitter.
+type job struct {
+	t    *txn.Transaction
+	req  Request
+	done chan error
+}
+
+// Engine executes transactions on a (transient) primary node.
+type Engine struct {
+	cfg      Config
+	db       *store.Store
+	ctl      *occ.Controller
+	queue    *sched.Queue
+	overload *sched.Overload
+	clock    *simtime.WallClock
+
+	outcome    *metrics.Outcome
+	respTime   *metrics.Histogram // submit → commit
+	commitWait *metrics.Histogram // validation → commit (the LogWait step)
+
+	committer atomic.Value // Committer
+	logMode   atomic.Int32
+
+	mu      sync.Mutex
+	jobs    map[txn.ID]*job
+	nextID  atomic.Uint64
+	stopped atomic.Bool
+
+	inflight sync.WaitGroup // outstanding Execute calls
+	workers  sync.WaitGroup
+}
+
+// committerBox wraps a Committer for atomic.Value (which needs a single
+// concrete type).
+type committerBox struct{ c Committer }
+
+// NewEngine builds an engine over db. The committer defines the commit
+// path; swap it with SetCommitter on failover.
+func NewEngine(cfg Config, db *store.Store, committer Committer, logMode LogMode) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:        cfg,
+		db:         db,
+		ctl:        occ.NewController(cfg.Protocol, db),
+		queue:      sched.NewQueue(cfg.NonRTReserve),
+		overload:   sched.NewOverload(cfg.Overload),
+		clock:      simtime.NewWallClock(),
+		outcome:    metrics.NewOutcome(),
+		respTime:   new(metrics.Histogram),
+		commitWait: new(metrics.Histogram),
+		jobs:       make(map[txn.ID]*job),
+	}
+	e.committer.Store(committerBox{committer})
+	e.logMode.Store(int32(logMode))
+	for i := 0; i < cfg.Workers; i++ {
+		e.workers.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// DB exposes the engine's database (reads outside transactions see the
+// latest committed state).
+func (e *Engine) DB() *store.Store { return e.db }
+
+// Controller exposes the concurrency controller, for stats.
+func (e *Engine) Controller() *occ.Controller { return e.ctl }
+
+// Outcome exposes the outcome tally.
+func (e *Engine) Outcome() *metrics.Outcome { return e.outcome }
+
+// ResponseTimes exposes the submit→commit latency histogram.
+func (e *Engine) ResponseTimes() *metrics.Histogram { return e.respTime }
+
+// CommitWaits exposes the validation→commit (log wait) histogram — the
+// cost the hot stand-by removes from the critical path.
+func (e *Engine) CommitWaits() *metrics.Histogram { return e.commitWait }
+
+// Overload exposes the overload manager.
+func (e *Engine) Overload() *sched.Overload { return e.overload }
+
+// LogMode reports the engine's current logging mode.
+func (e *Engine) LogMode() LogMode { return LogMode(e.logMode.Load()) }
+
+// SetCommitter atomically swaps the commit path (failover: ship→disk).
+// The previous committer is returned; the caller decides when to close
+// it.
+func (e *Engine) SetCommitter(c Committer, mode LogMode) Committer {
+	prev := e.committer.Swap(committerBox{c}).(committerBox)
+	e.logMode.Store(int32(mode))
+	return prev.c
+}
+
+// Execute submits a transaction and blocks until it commits or aborts.
+func (e *Engine) Execute(req Request) error {
+	if e.stopped.Load() {
+		return ErrStopped
+	}
+	e.inflight.Add(1)
+	defer e.inflight.Done()
+	if e.stopped.Load() { // recheck under the inflight guard
+		return ErrStopped
+	}
+
+	e.outcome.Submit()
+	now := e.clock.Now()
+	if !e.overload.Admit(now) {
+		// The overload manager is at its limit: the arriving
+		// transaction is the lowest-priority work in the system unless
+		// its criticality displaces something still queued.
+		victim := e.queue.EvictLowerCriticality(req.Criticality)
+		if victim == nil {
+			e.outcome.Abort(txn.OverloadDenied)
+			return ErrOverload
+		}
+		e.mu.Lock()
+		vj := e.jobs[victim.ID]
+		e.mu.Unlock()
+		if vj != nil {
+			e.finish(vj, txn.OverloadDenied, ErrOverload)
+		}
+		e.overload.ForceAdmit()
+	}
+
+	deadline := txn.NoDeadline
+	if req.Class != txn.NonRealTime && req.Deadline > 0 {
+		deadline = now.Add(req.Deadline)
+	}
+	t := txn.New(txn.ID(e.nextID.Add(1)), req.Class, now, deadline)
+	t.Criticality = req.Criticality
+	j := &job{t: t, req: req, done: make(chan error, 1)}
+
+	e.mu.Lock()
+	e.jobs[t.ID] = j
+	e.mu.Unlock()
+
+	e.queue.Push(t)
+	err := <-j.done
+
+	e.mu.Lock()
+	delete(e.jobs, t.ID)
+	e.mu.Unlock()
+	e.overload.Done()
+	return err
+}
+
+// Stop drains outstanding requests and shuts the workers down.
+func (e *Engine) Stop() {
+	if e.stopped.Swap(true) {
+		return
+	}
+	e.inflight.Wait()
+	e.queue.Close()
+	e.workers.Wait()
+	if box, ok := e.committer.Load().(committerBox); ok {
+		box.c.Close()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	for {
+		t := e.queue.PopWait()
+		if t == nil {
+			return
+		}
+		e.mu.Lock()
+		j := e.jobs[t.ID]
+		e.mu.Unlock()
+		if j == nil {
+			continue // job abandoned (shutdown race)
+		}
+		e.run(j)
+	}
+}
+
+// run executes one attempt chain (with restarts) of a job to completion.
+func (e *Engine) run(j *job) {
+	t := j.t
+	for {
+		now := e.clock.Now()
+		if t.Class == txn.Firm && t.Expired(now) {
+			e.finish(j, txn.DeadlineMiss, ErrDeadline)
+			return
+		}
+		e.ctl.Begin(t)
+		t.State = txn.Running
+		err := j.req.Do(&Tx{e: e, t: t})
+
+		switch {
+		case err == nil:
+			// fall through to validation
+		case errors.Is(err, errRestart):
+			if !e.restart(j) {
+				return
+			}
+			continue
+		case errors.Is(err, ErrDeadline):
+			e.ctl.Finish(t)
+			e.finish(j, txn.DeadlineMiss, ErrDeadline)
+			return
+		default:
+			// User error: the transaction aborts by its own choice;
+			// deferred writes are simply discarded.
+			e.ctl.Finish(t)
+			t.Abort(txn.UserAbort)
+			e.outcome.Abort(txn.UserAbort)
+			j.done <- err
+			return
+		}
+
+		now = e.clock.Now()
+		if t.Class == txn.Firm && t.Expired(now) {
+			e.ctl.Finish(t)
+			e.finish(j, txn.DeadlineMiss, ErrDeadline)
+			return
+		}
+
+		t.State = txn.Validating
+		res := e.ctl.Validate(t)
+		if !res.OK {
+			if !e.restart(j) {
+				return
+			}
+			continue
+		}
+		// Victims have been marked doomed; their own workers restart
+		// them at the next operation or validation.
+
+		// Write phase already applied inside Validate. Build the redo
+		// group and run the commit step for the current logging mode.
+		t.State = txn.LogWait
+		validated := e.clock.Now()
+		err = e.commitStable(t)
+		e.commitWait.Observe(e.clock.Now().Sub(validated))
+		e.ctl.Finish(t)
+		if err != nil {
+			// The write phase is already in local memory; losing the
+			// log path mid-commit is a node-level failure for this
+			// transaction.
+			e.outcome.Abort(txn.NodeFailure)
+			j.done <- fmt.Errorf("%w: %v", ErrNodeFailure, err)
+			return
+		}
+		t.State = txn.Committed
+		end := e.clock.Now()
+		e.respTime.Observe(end.Sub(t.Arrival))
+		if t.Class == txn.Soft && t.Expired(end) {
+			e.outcome.CommitLate()
+			e.overload.RecordMiss(end)
+		} else {
+			e.outcome.Commit()
+		}
+		j.done <- nil
+		return
+	}
+}
+
+// commitStable runs the commit step, retrying once through a swapped
+// committer if the mirror vanished mid-commit.
+func (e *Engine) commitStable(t *txn.Transaction) error {
+	if e.LogMode() == LogNone {
+		return nil
+	}
+	g := &wal.Group{Writes: wal.WriteRecordsFor(t), Commit: wal.CommitRecordFor(t)}
+	for attempt := 0; attempt < 3; attempt++ {
+		c := e.committer.Load().(committerBox).c
+		err := c.Commit(g)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrMirrorDown) {
+			// The node (or a watchdog) swaps in a disk committer; wait
+			// briefly for the swap and retry.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return err
+	}
+	return ErrMirrorDown
+}
+
+// restart resets the transaction for another attempt if it has restarts
+// and time left; otherwise it finishes with a conflict abort. It reports
+// whether the caller should retry.
+func (e *Engine) restart(j *job) bool {
+	t := j.t
+	e.ctl.Finish(t)
+	if t.Restarts >= e.cfg.MaxRestarts {
+		e.finish(j, txn.Conflict, ErrConflict)
+		return false
+	}
+	if t.Class == txn.Firm && t.Expired(e.clock.Now()) {
+		e.finish(j, txn.DeadlineMiss, ErrDeadline)
+		return false
+	}
+	e.outcome.Restart()
+	t.ResetForRestart()
+	return true
+}
+
+// finish completes a job with a terminal abort.
+func (e *Engine) finish(j *job, reason txn.AbortReason, err error) {
+	t := j.t
+	t.Abort(reason)
+	e.outcome.Abort(reason)
+	if reason == txn.DeadlineMiss {
+		e.overload.RecordMiss(e.clock.Now())
+	}
+	var final error
+	switch reason {
+	case txn.DeadlineMiss:
+		final = ErrDeadline
+	case txn.Conflict:
+		final = ErrConflict
+	default:
+		final = err
+	}
+	j.done <- final
+}

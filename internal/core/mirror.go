@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/logstore"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// ErrPrimaryDown reports that the mirror lost its primary (connection
+// error or watchdog timeout): the trigger for takeover.
+var ErrPrimaryDown = errors.New("core: primary down")
+
+// MirrorEngine is the hot stand-by side of a RODAIN pair: it receives
+// the primary's log stream, acknowledges every commit record immediately
+// on arrival, reorders records into true validation order, applies each
+// transaction's updates to its database copy only once the commit record
+// has been seen (so it never needs to undo anything), and stores the
+// reordered log to disk asynchronously — the disk write is not
+// synchronized with transaction commits.
+type MirrorEngine struct {
+	cfg Config
+	db  *store.Store
+	log logstore.Store
+
+	mu           sync.Mutex
+	lastSerial   uint64 // last applied validation order
+	maxCommitTS  uint64
+	applied      uint64
+	ackedCommits uint64
+	logBuf       []byte
+
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+}
+
+// NewMirrorEngine returns a mirror over db whose received log is stored
+// to log.
+func NewMirrorEngine(cfg Config, db *store.Store, log logstore.Store) *MirrorEngine {
+	return &MirrorEngine{cfg: cfg.withDefaults(), db: db, log: log}
+}
+
+// DB exposes the database copy.
+func (m *MirrorEngine) DB() *store.Store { return m.db }
+
+// LastSerial reports the validation order of the last applied
+// transaction — the replay position a takeover or rejoin resumes from.
+func (m *MirrorEngine) LastSerial() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSerial
+}
+
+// MaxCommitTS reports the largest commit timestamp applied; a takeover
+// seeds its concurrency controller above it.
+func (m *MirrorEngine) MaxCommitTS() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxCommitTS
+}
+
+// Applied reports how many transactions have been applied.
+func (m *MirrorEngine) Applied() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+// Run drives one mirror session over conn until the primary fails or
+// the session is closed. It sends the hello (with the mirror's current
+// replay position), processes an optional state transfer, then consumes
+// the log stream. The returned error is ErrPrimaryDown for failures that
+// should trigger takeover.
+func (m *MirrorEngine) Run(conn *transport.Conn) error {
+	defer conn.Close()
+
+	m.mu.Lock()
+	hello := m.lastSerial
+	m.mu.Unlock()
+	if err := conn.Send(&transport.Msg{Type: transport.MsgHello, Serial: hello}); err != nil {
+		return fmt.Errorf("%w: hello: %v", ErrPrimaryDown, err)
+	}
+
+	// Background log flusher: "the data storing to the disk is not
+	// synchronized with the transaction commits".
+	if m.cfg.MirrorSyncEvery > 0 {
+		m.stopFlush = make(chan struct{})
+		m.flushWG.Add(1)
+		go m.flusher()
+		defer func() {
+			close(m.stopFlush)
+			m.flushWG.Wait()
+			m.log.Sync() // final sync so a clean shutdown loses nothing
+		}()
+	}
+
+	reorderer := wal.NewReorderer(hello + 1)
+	watchdog := time.Duration(m.cfg.HeartbeatMisses) * m.cfg.HeartbeatEvery
+	// Until the log stream is live (state transfer done, heartbeats
+	// flowing) the primary may legitimately be busy building and
+	// shipping a multi-megabyte snapshot; use a generous deadline.
+	handshake := 10 * time.Second
+	if handshake < watchdog {
+		handshake = watchdog
+	}
+	live := false
+
+	var snapshotBuf *bytes.Buffer // non-nil while a state transfer is in progress
+	for {
+		if live {
+			conn.SetRecvDeadline(time.Now().Add(watchdog))
+		} else {
+			conn.SetRecvDeadline(time.Now().Add(handshake))
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			// Discard buffered, uncommitted transactions: when the
+			// Primary Node fails, transactions without a commit record
+			// are considered aborted.
+			reorderer.DiscardPending()
+			return fmt.Errorf("%w: %v", ErrPrimaryDown, err)
+		}
+		switch msg.Type {
+		case transport.MsgPing:
+			live = true
+			if err := conn.Send(&transport.Msg{Type: transport.MsgPong}); err != nil {
+				return fmt.Errorf("%w: pong: %v", ErrPrimaryDown, err)
+			}
+		case transport.MsgSnapshotBegin:
+			snapshotBuf = new(bytes.Buffer)
+		case transport.MsgSnapshotChunk:
+			if snapshotBuf == nil {
+				return fmt.Errorf("core: mirror: snapshot chunk without begin")
+			}
+			snapshotBuf.Write(msg.Payload)
+		case transport.MsgSnapshotEnd:
+			if snapshotBuf == nil {
+				return fmt.Errorf("core: mirror: snapshot end without begin")
+			}
+			snap, serial, err := wal.ReadCheckpoint(snapshotBuf)
+			if err != nil {
+				return fmt.Errorf("core: mirror: state transfer: %v", err)
+			}
+			m.db.LoadSnapshot(snap)
+			m.mu.Lock()
+			m.lastSerial = serial
+			for _, r := range snap {
+				if r.WriteTS > m.maxCommitTS {
+					m.maxCommitTS = r.WriteTS
+				}
+			}
+			m.mu.Unlock()
+			reorderer = wal.NewReorderer(serial + 1)
+			snapshotBuf = nil
+			// Persist the transferred state so this node's own disk
+			// can recover without the peer.
+			var cp bytes.Buffer
+			if err := wal.WriteCheckpoint(&cp, snap, serial); err == nil {
+				m.log.Append(cp.Bytes())
+			}
+		case transport.MsgRecord:
+			live = true
+			rec, err := wal.Decode(bytes.NewReader(msg.Payload))
+			if err != nil {
+				return fmt.Errorf("core: mirror: bad record: %v", err)
+			}
+			// Acknowledge commit records immediately on arrival — the
+			// signal that this transaction's logs are on the mirror.
+			if rec.Type == wal.TypeCommit {
+				if err := conn.Send(&transport.Msg{Type: transport.MsgAck, Serial: rec.SerialOrder}); err != nil {
+					reorderer.DiscardPending()
+					return fmt.Errorf("%w: ack: %v", ErrPrimaryDown, err)
+				}
+				m.mu.Lock()
+				m.ackedCommits++
+				m.mu.Unlock()
+			}
+			groups, err := reorderer.Add(rec)
+			if err != nil {
+				return fmt.Errorf("core: mirror: %v", err)
+			}
+			for _, g := range groups {
+				m.apply(g)
+			}
+		default:
+			return fmt.Errorf("core: mirror: unexpected message %v", msg.Type)
+		}
+	}
+}
+
+// apply installs one committed group into the database copy and appends
+// its records (already in validation order) to the log buffer.
+func (m *MirrorEngine) apply(g *wal.Group) {
+	for _, w := range g.Writes {
+		if w.Type == wal.TypeDelete {
+			m.db.ApplyDelete(w.ObjectID, g.Commit.CommitTS)
+			continue
+		}
+		m.db.Apply(w.ObjectID, w.AfterImage, g.Commit.CommitTS)
+	}
+	m.mu.Lock()
+	buf := m.logBuf[:0]
+	for _, rec := range g.Flatten() {
+		buf = wal.AppendEncoded(buf, rec)
+	}
+	m.logBuf = buf
+	m.applied++
+	if g.SerialOrder() > m.lastSerial {
+		m.lastSerial = g.SerialOrder()
+	}
+	if g.Commit.CommitTS > m.maxCommitTS {
+		m.maxCommitTS = g.Commit.CommitTS
+	}
+	m.mu.Unlock()
+	m.log.Append(buf)
+}
+
+// flusher syncs the log store periodically, off the commit path.
+func (m *MirrorEngine) flusher() {
+	defer m.flushWG.Done()
+	t := time.NewTicker(m.cfg.MirrorSyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.log.Sync()
+		case <-m.stopFlush:
+			return
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/logstore"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// ErrNotServing reports a transaction submitted to a node that is not
+// (yet) a primary — transactions are executed only on the Primary Node.
+var ErrNotServing = errors.New("core: node is not serving transactions")
+
+// EventKind classifies node role-change events.
+type EventKind int
+
+// Node events.
+const (
+	// EventMirrorAttached: a mirror completed state transfer and log
+	// shipping is live; commits now wait on the mirror, not the disk.
+	EventMirrorAttached EventKind = iota
+	// EventMirrorLost: the mirror connection failed; the node switched
+	// to transient mode (direct disk logging).
+	EventMirrorLost
+	// EventTakeover: this mirror node detected primary failure and is
+	// now serving as transient primary.
+	EventTakeover
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventMirrorAttached:
+		return "mirror-attached"
+	case EventMirrorLost:
+		return "mirror-lost"
+	case EventTakeover:
+		return "takeover"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a node role-change notification.
+type Event struct {
+	Kind   EventKind
+	Detail string
+	When   time.Time
+}
+
+// Node ties the pieces into one RODAIN node: the execution engine, the
+// replication endpoints, and the role state machine (primary / mirror /
+// transient primary). A failed node always rejoins as mirror; the
+// database server role only moves when the current server dies.
+type Node struct {
+	cfg  Config
+	name string
+	db   *store.Store
+	log  logstore.Store
+
+	mu         sync.Mutex
+	mode       Mode
+	engine     *Engine
+	mirror     *MirrorEngine
+	listener   *transport.Listener
+	shipper    *MirrorShipper
+	mirrorConn *transport.Conn // the upstream connection while in mirror mode
+	disk       *DiskCommitter
+	closed     bool
+
+	events chan Event
+	wg     sync.WaitGroup
+}
+
+// NewNode creates a node over its database and local log device. The
+// node does nothing until ServePrimary or RunMirror is called.
+func NewNode(name string, cfg Config, db *store.Store, log logstore.Store) *Node {
+	return &Node{
+		cfg:    cfg.withDefaults(),
+		name:   name,
+		db:     db,
+		log:    log,
+		events: make(chan Event, 64),
+	}
+}
+
+// Name reports the node's name.
+func (n *Node) Name() string { return n.name }
+
+// DB exposes the node's database.
+func (n *Node) DB() *store.Store { return n.db }
+
+// Mode reports the node's current role.
+func (n *Node) Mode() Mode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mode
+}
+
+// Events delivers role-change notifications. The channel is buffered;
+// events are dropped rather than blocking the node.
+func (n *Node) Events() <-chan Event { return n.events }
+
+// Engine returns the execution engine, nil while the node is a mirror.
+func (n *Node) Engine() *Engine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.engine
+}
+
+func (n *Node) emit(kind EventKind, detail string) {
+	select {
+	case n.events <- Event{Kind: kind, Detail: detail, When: time.Now()}:
+	default:
+	}
+}
+
+// ServePrimary starts the node as the database server. It begins in
+// transient mode (logs to its own disk) and switches to mirror shipping
+// when a mirror connects to listenAddr. Pass listenAddr "" to run
+// without a replication endpoint (pure single-node configurations).
+// logMode selects the single-node commit path: LogDisk (true log
+// writes), LogDiscard (disk off) or LogNone (no logs at all).
+func (n *Node) ServePrimary(listenAddr string, logMode LogMode) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrStopped
+	}
+	if n.engine != nil {
+		return fmt.Errorf("core: node %s already serving", n.name)
+	}
+	var c Committer
+	switch logMode {
+	case LogDisk:
+		n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+		c = n.disk
+	case LogDiscard, LogNone:
+		c = buildCommitter(logMode, n.log, 0)
+	case LogShip:
+		return fmt.Errorf("core: a primary starts in a single-node mode; shipping begins when a mirror attaches")
+	}
+	n.engine = NewEngine(n.cfg, n.db, c, logMode)
+	n.mode = ModeTransient
+	if listenAddr != "" {
+		l, err := transport.Listen(listenAddr)
+		if err != nil {
+			return err
+		}
+		n.listener = l
+		n.wg.Add(1)
+		go n.acceptMirrors()
+	}
+	return nil
+}
+
+// ReplAddr reports the replication listener address ("" if none).
+func (n *Node) ReplAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr()
+}
+
+// acceptMirrors admits (re)joining mirrors, one session at a time.
+func (n *Node) acceptMirrors() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.attachMirror(conn)
+	}
+}
+
+// attachMirror performs the handshake and state transfer for a joining
+// mirror and switches the commit path to log shipping.
+func (n *Node) attachMirror(conn *transport.Conn) {
+	conn.SetRecvDeadline(time.Now().Add(5 * time.Second))
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != transport.MsgHello {
+		conn.Close()
+		return
+	}
+	conn.SetRecvDeadline(time.Time{})
+
+	n.mu.Lock()
+	if n.closed || n.engine == nil {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if n.shipper != nil {
+		// Replace any previous mirror session.
+		old := n.shipper
+		n.shipper = nil
+		n.mu.Unlock()
+		old.Close()
+		n.mu.Lock()
+	}
+	engine := n.engine
+	n.mu.Unlock()
+
+	// Quiescent point: freeze validation, snapshot the committed state,
+	// and install the shipper so every transaction validated after the
+	// snapshot ships to this mirror.
+	var (
+		snap    []store.Record
+		serial  uint64
+		shipper *MirrorShipper
+	)
+	engine.Controller().WithFrozen(func(lastSerial uint64) {
+		serial = lastSerial
+		// A mirror that is already at our position (fresh pair started
+		// together) needs no data, but the snapshot is cheap insurance
+		// and makes rejoin identical to first join.
+		snap = n.db.Snapshot()
+		shipper = NewMirrorShipper(conn, serial+1, n.cfg.AckTimeout, n.cfg.HeartbeatEvery,
+			func() { n.mirrorLost() })
+		engine.SetCommitter(shipper, LogShip)
+	})
+
+	n.mu.Lock()
+	n.shipper = shipper
+	n.mode = ModePrimary
+	n.mu.Unlock()
+
+	// Ship the snapshot outside the freeze; commits queue in the
+	// shipper meanwhile.
+	if err := sendSnapshot(conn, snap, serial); err != nil {
+		shipper.fail()
+		return
+	}
+	shipper.Start()
+	n.emit(EventMirrorAttached, fmt.Sprintf("serial=%d objects=%d", serial, len(snap)))
+}
+
+// sendSnapshot streams a checkpoint over the wire in bounded chunks.
+func sendSnapshot(conn *transport.Conn, snap []store.Record, serial uint64) error {
+	var buf bytes.Buffer
+	if err := wal.WriteCheckpoint(&buf, snap, serial); err != nil {
+		return err
+	}
+	if err := conn.Send(&transport.Msg{Type: transport.MsgSnapshotBegin, Serial: serial}); err != nil {
+		return err
+	}
+	const chunk = 64 << 10
+	data := buf.Bytes()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := conn.Send(&transport.Msg{Type: transport.MsgSnapshotChunk, Payload: data[off:end]}); err != nil {
+			return err
+		}
+	}
+	return conn.Send(&transport.Msg{Type: transport.MsgSnapshotEnd, Serial: serial})
+}
+
+// mirrorLost switches the node back to transient mode: the Log Writer
+// must store logs directly to disk again.
+func (n *Node) mirrorLost() {
+	n.mu.Lock()
+	if n.closed || n.engine == nil {
+		n.mu.Unlock()
+		return
+	}
+	if n.disk == nil {
+		n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+	}
+	n.engine.SetCommitter(n.disk, LogDisk)
+	n.shipper = nil
+	n.mode = ModeTransient
+	n.mu.Unlock()
+	n.emit(EventMirrorLost, "switched to direct disk logging")
+}
+
+// RunMirror runs the node as the hot stand-by of the primary at
+// primaryAddr. It blocks until either the node is closed (returns nil)
+// or the primary fails — in which case the node takes over as transient
+// primary, starts its replication listener on takeoverListen (so the
+// recovered peer can rejoin as mirror), and returns nil. Any other error
+// is returned.
+func (n *Node) RunMirror(primaryAddr, takeoverListen string) error {
+	conn, err := dialRetry(primaryAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return ErrStopped
+	}
+	n.mode = ModeMirror
+	n.mirror = NewMirrorEngine(n.cfg, n.db, n.log)
+	n.mirrorConn = conn
+	mirror := n.mirror
+	n.mu.Unlock()
+
+	err = mirror.Run(conn)
+
+	n.mu.Lock()
+	n.mirrorConn = nil
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil
+	}
+	if errors.Is(err, ErrPrimaryDown) {
+		return n.takeover(takeoverListen)
+	}
+	return err
+}
+
+// takeover promotes a mirror to transient primary: transactions execute
+// here now, with logs stored directly to disk before commit.
+func (n *Node) takeover(listenAddr string) error {
+	n.mu.Lock()
+	if n.closed || n.engine != nil {
+		n.mu.Unlock()
+		return nil
+	}
+	n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+	n.engine = NewEngine(n.cfg, n.db, n.disk, LogDisk)
+	n.engine.Controller().Seed(n.mirror.LastSerial(), n.mirror.MaxCommitTS())
+	n.mode = ModeTransient
+	var err error
+	if listenAddr != "" {
+		n.listener, err = transport.Listen(listenAddr)
+		if err == nil {
+			n.wg.Add(1)
+			go n.acceptMirrors()
+		}
+	}
+	serial := n.mirror.LastSerial()
+	n.mu.Unlock()
+	n.emit(EventTakeover, fmt.Sprintf("resuming from serial %d", serial))
+	return err
+}
+
+// Execute submits a transaction to the node; it fails with ErrNotServing
+// on a mirror.
+func (n *Node) Execute(req Request) error {
+	n.mu.Lock()
+	engine := n.engine
+	n.mu.Unlock()
+	if engine == nil {
+		return ErrNotServing
+	}
+	return engine.Execute(req)
+}
+
+// RecoverFromLog replays a stored log (as written by a transient primary
+// or a mirror) into the node's database before it starts. It returns the
+// recovery statistics; the engine's counters are seeded so a subsequent
+// ServePrimary continues the epoch.
+func (n *Node) RecoverFromLog(r io.Reader) (wal.RecoverStats, error) {
+	st, err := wal.Recover(r, n.db)
+	if err != nil {
+		return st, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.engine != nil {
+		maxTS := uint64(0)
+		for _, rec := range n.db.Snapshot() {
+			if rec.WriteTS > maxTS {
+				maxTS = rec.WriteTS
+			}
+		}
+		n.engine.Controller().Seed(st.LastSerial, maxTS)
+	}
+	return st, nil
+}
+
+// Close shuts the node down gracefully: outstanding transactions drain,
+// the log is synced, connections close.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	listener := n.listener
+	shipper := n.shipper
+	mirrorConn := n.mirrorConn
+	engine := n.engine
+	n.mu.Unlock()
+
+	if listener != nil {
+		listener.Close()
+	}
+	if mirrorConn != nil {
+		mirrorConn.Close()
+	}
+	if engine != nil {
+		engine.Stop()
+	}
+	if shipper != nil {
+		shipper.Close()
+	}
+	n.wg.Wait()
+	return n.log.Sync()
+}
+
+// Crash kills the node abruptly: connections drop, nothing is drained or
+// synced. It models the failures of the paper's availability story.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	listener := n.listener
+	shipper := n.shipper
+	mirrorConn := n.mirrorConn
+	engine := n.engine
+	n.mu.Unlock()
+
+	if listener != nil {
+		listener.Close()
+	}
+	if mirrorConn != nil {
+		mirrorConn.Close()
+	}
+	if shipper != nil {
+		shipper.Close()
+	}
+	if engine != nil {
+		engine.Stop()
+	}
+	n.wg.Wait()
+}
+
+// dialRetry dials addr until it answers or the budget runs out — the
+// peer may still be starting up.
+func dialRetry(addr string, budget time.Duration) (*transport.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := transport.Dial(addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: dial %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// diskReadBandwidth models the sequential read rate of the prototype
+// era's disk when a restarting node reloads its database image and log
+// tail — the part of single-node recovery the paper says makes the
+// database "down much longer".
+const diskReadBandwidth = 20 << 20 // 20 MiB/s
+
+// throttledReader limits r to a byte rate, simulating a disk read. It
+// accumulates the owed delay and sleeps in ≥1 ms slices, because tiny
+// per-read sleeps round up to the scheduler's granularity and would
+// overstate the throttle by orders of magnitude.
+type throttledReader struct {
+	r       io.Reader
+	perByte time.Duration
+	debt    time.Duration
+}
+
+func newThrottledReader(r io.Reader, bytesPerSec int) *throttledReader {
+	return &throttledReader{r: r, perByte: time.Second / time.Duration(bytesPerSec)}
+}
+
+func (t *throttledReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.debt += time.Duration(n) * t.perByte
+		if t.debt >= time.Millisecond {
+			time.Sleep(t.debt)
+			t.debt = 0
+		}
+	}
+	return n, err
+}
+
+// TakeoverResult is one row of the availability comparison.
+type TakeoverResult struct {
+	Objects       int
+	LogRecords    int
+	TakeoverTime  time.Duration // crash → promoted node commits
+	DetectionTime time.Duration // crash → takeover event (watchdog)
+	RecoveryTime  time.Duration // load checkpoint + replay log from disk
+}
+
+// Takeover runs the availability experiment behind the paper's closing
+// claim: "the Mirror Node can almost instantaneously serve incoming
+// requests", while a node recovering from the backup on disk "would be
+// down much longer". For each database size it measures (a) real mirror
+// takeover on a live pair over loopback TCP and (b) restart recovery —
+// reading a checkpoint plus log tail through a disk-bandwidth-limited
+// reader.
+func Takeover(sizes []int, logTail int) ([]TakeoverResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10000, 30000, 100000}
+	}
+	if logTail <= 0 {
+		logTail = 2000
+	}
+	var out []TakeoverResult
+	for _, size := range sizes {
+		r, err := takeoverOne(size, logTail)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func takeoverOne(objects, logTail int) (TakeoverResult, error) {
+	res := TakeoverResult{Objects: objects, LogRecords: logTail}
+
+	// --- (b) restart recovery through the disk --------------------------
+	wl := workload.Default()
+	wl.DBSize = objects
+	db := store.New()
+	workload.Populate(db, wl)
+
+	var image bytes.Buffer
+	if err := wal.WriteCheckpoint(&image, db.Snapshot(), 0); err != nil {
+		return res, err
+	}
+	// A log tail of update transactions past the checkpoint.
+	var tail bytes.Buffer
+	for i := 0; i < logTail; i++ {
+		id := store.ObjectID(i % objects)
+		if err := wal.Encode(&tail, &wal.Record{
+			Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: id,
+			AfterImage: []byte(fmt.Sprintf("upd-%d", i)),
+		}); err != nil {
+			return res, err
+		}
+		if err := wal.Encode(&tail, &wal.Record{
+			Type: wal.TypeCommit, TxnID: 1 + txnID(i),
+			SerialOrder: uint64(i + 1), CommitTS: uint64(i+1) * 65536,
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	start := time.Now()
+	fresh := store.New()
+	snap, serial, err := wal.ReadCheckpoint(bufio.NewReaderSize(
+		newThrottledReader(bytes.NewReader(image.Bytes()), diskReadBandwidth), 64<<10))
+	if err != nil {
+		return res, err
+	}
+	fresh.LoadSnapshot(snap)
+	_ = serial
+	if _, err := wal.Recover(bufio.NewReaderSize(
+		newThrottledReader(bytes.NewReader(tail.Bytes()), diskReadBandwidth), 64<<10), fresh); err != nil {
+		return res, err
+	}
+	res.RecoveryTime = time.Since(start)
+
+	// --- (a) live mirror takeover ---------------------------------------
+	cfg := core.Config{
+		Workers:         2,
+		HeartbeatEvery:  25 * time.Millisecond,
+		HeartbeatMisses: 4,
+	}
+	pdb := store.New()
+	workload.Populate(pdb, wl)
+	primary := core.NewNode("primary", cfg, pdb, logstore.NewMem())
+	if err := primary.ServePrimary("127.0.0.1:0", core.LogDisk); err != nil {
+		return res, err
+	}
+	mirror := core.NewNode("mirror", cfg, store.New(), logstore.NewMem())
+	go mirror.RunMirror(primary.ReplAddr(), "")
+	defer mirror.Close()
+
+	if err := waitFor(primary, core.EventMirrorAttached, 10*time.Second); err != nil {
+		return res, err
+	}
+	// A little committed traffic before the failure.
+	for i := 0; i < 20; i++ {
+		if err := primary.Execute(core.Request{Deadline: time.Second, Do: func(tx *core.Tx) error {
+			return tx.Write(store.ObjectID(i), []byte("pre-crash"))
+		}}); err != nil {
+			return res, err
+		}
+	}
+
+	crash := time.Now()
+	primary.Crash()
+	if err := waitFor(mirror, core.EventTakeover, 10*time.Second); err != nil {
+		return res, err
+	}
+	res.DetectionTime = time.Since(crash)
+	// First transaction on the promoted node.
+	if err := mirror.Execute(core.Request{Deadline: time.Second, Do: func(tx *core.Tx) error {
+		return tx.Write(1, []byte("post-takeover"))
+	}}); err != nil {
+		return res, err
+	}
+	res.TakeoverTime = time.Since(crash)
+	return res, nil
+}
+
+func txnID(i int) txn.ID { return txn.ID(i) }
+
+func waitFor(n *core.Node, kind core.EventKind, within time.Duration) error {
+	deadline := time.After(within)
+	for {
+		select {
+		case ev := <-n.Events():
+			if ev.Kind == kind {
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("experiments: node %s: no %v within %v", n.Name(), kind, within)
+		}
+	}
+}
+
+// TakeoverTable renders the availability comparison.
+func TakeoverTable(rs []TakeoverResult) *metrics.Table {
+	t := &metrics.Table{
+		Title:  "takeover vs restart recovery (availability, §4 closing claim)",
+		Header: []string{"objects", "log tail", "mirror takeover", "(detection)", "restart recovery"},
+	}
+	for _, r := range rs {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Objects),
+			fmt.Sprintf("%d", r.LogRecords),
+			r.TakeoverTime.Round(100*time.Microsecond).String(),
+			r.DetectionTime.Round(100*time.Microsecond).String(),
+			r.RecoveryTime.Round(time.Millisecond).String(),
+		)
+	}
+	return t
+}
+
+// ReorderAblation quantifies the mirror's validation-order reordering:
+// recovery of a grouped (reordered) log needs to buffer only one
+// transaction's records, an interleaved log needs far more.
+func ReorderAblation(txns, writesPer int) *metrics.Table {
+	grouped := new(bytes.Buffer)
+	interleaved := new(bytes.Buffer)
+
+	// Grouped: writes immediately followed by their commit record.
+	for i := 0; i < txns; i++ {
+		id := txnID(i) + 1
+		for w := 0; w < writesPer; w++ {
+			wal.Encode(grouped, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
+		}
+		wal.Encode(grouped, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
+	}
+	// Interleaved: all writes first, then all commit records — the
+	// worst case an unordered stream can produce.
+	for i := 0; i < txns; i++ {
+		for w := 0; w < writesPer; w++ {
+			wal.Encode(interleaved, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
+		}
+	}
+	for i := 0; i < txns; i++ {
+		id := txnID(i) + 1
+		wal.Encode(interleaved, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
+	}
+
+	t := &metrics.Table{
+		Title:  "mirror reordering ablation — recovery buffering",
+		Header: []string{"log layout", "records", "peak buffered", "applied"},
+	}
+	for _, c := range []struct {
+		name string
+		buf  *bytes.Buffer
+	}{{"reordered (as stored by mirror)", grouped}, {"interleaved (no reordering)", interleaved}} {
+		db := store.New()
+		st, err := wal.Recover(bytes.NewReader(c.buf.Bytes()), db)
+		if err != nil {
+			continue
+		}
+		t.AddRow(c.name,
+			fmt.Sprintf("%d", txns*(writesPer+1)),
+			fmt.Sprintf("%d", st.PeakBuffered),
+			fmt.Sprintf("%d", st.Applied))
+	}
+	return t
+}
+
+// GroupCommitAblation measures transient-mode commit throughput with and
+// without group commit on a slow log device.
+func GroupCommitAblation(diskLatency time.Duration, windows []time.Duration, commits int) *metrics.Table {
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("group commit ablation — %v disk, %d concurrent committers", diskLatency, commits),
+		Header: []string{"window", "wall time", "device syncs", "commits/s"},
+	}
+	for _, w := range windows {
+		mem := logstore.NewMem()
+		slow := logstore.NewDelayed(mem, diskLatency)
+		d := core.NewDiskCommitter(slow, w)
+		start := time.Now()
+		done := make(chan error, commits)
+		for i := 0; i < commits; i++ {
+			go func(i int) {
+				done <- d.Commit(&wal.Group{
+					Writes: []*wal.Record{{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(i), AfterImage: []byte("v")}},
+					Commit: &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(i + 1), CommitTS: uint64(i+1) * 65536},
+				})
+			}(i)
+		}
+		for i := 0; i < commits; i++ {
+			if err := <-done; err != nil {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		d.Close()
+		t.AddRow(w.String(), elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", mem.Stats().Syncs),
+			fmt.Sprintf("%.0f", float64(commits)/elapsed.Seconds()))
+	}
+	return t
+}

@@ -1,0 +1,272 @@
+// Package logstore provides the stable-storage backends a RODAIN node
+// writes its transaction log to: a real file, an in-memory store for
+// tests (which models the synced/unsynced distinction of a crash), a
+// null device for "logging disabled" configurations, and a delaying
+// wrapper that emulates a slow disk on the commit path.
+package logstore
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"sync"
+	"time"
+)
+
+// Store is an append-only log device. Append buffers data; Sync forces
+// everything appended so far onto stable media. Implementations are safe
+// for concurrent use.
+type Store interface {
+	// Append adds p to the log buffer.
+	Append(p []byte) error
+	// Sync forces all appended data to stable storage.
+	Sync() error
+	// Close syncs and releases the store.
+	Close() error
+}
+
+// Stats reports I/O accounting for a store that supports it.
+type Stats struct {
+	BytesAppended uint64
+	Syncs         uint64
+}
+
+// ErrClosed is returned for operations on a closed store.
+var ErrClosed = errors.New("logstore: closed")
+
+// Resetter is implemented by stores whose contents can be discarded —
+// used after a checkpoint makes the old log tail redundant.
+type Resetter interface {
+	// Reset discards everything appended so far.
+	Reset() error
+}
+
+// Reset truncates s if it supports truncation; it reports whether it
+// did.
+func Reset(s Store) (bool, error) {
+	r, ok := s.(Resetter)
+	if !ok {
+		return false, nil
+	}
+	return true, r.Reset()
+}
+
+// --- File -------------------------------------------------------------------
+
+// File is a file-backed log store using buffered appends and fsync.
+type File struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	stats  Stats
+	closed bool
+}
+
+// OpenFile opens (creating, appending) the log file at path.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append implements Store.
+func (s *File) Append(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	n, err := s.w.Write(p)
+	s.stats.BytesAppended += uint64(n)
+	return err
+}
+
+// Sync implements Store.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.stats.Syncs++
+	return s.f.Sync()
+}
+
+// Close implements Store.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Stats returns I/O accounting.
+func (s *File) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Reset implements Resetter: the file is truncated to zero length.
+func (s *File) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.w.Reset(s.f)
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := s.f.Seek(0, 0)
+	return err
+}
+
+// --- Mem --------------------------------------------------------------------
+
+// Mem is an in-memory log store. It distinguishes appended-but-unsynced
+// data from synced data so tests can model exactly what survives a
+// crash.
+type Mem struct {
+	mu     sync.Mutex
+	data   []byte
+	synced int // bytes guaranteed on "stable media"
+	stats  Stats
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append implements Store.
+func (m *Mem) Append(p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.data = append(m.data, p...)
+	m.stats.BytesAppended += uint64(len(p))
+	return nil
+}
+
+// Sync implements Store.
+func (m *Mem) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.synced = len(m.data)
+	m.stats.Syncs++
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.synced = len(m.data)
+	m.closed = true
+	return nil
+}
+
+// Bytes returns a copy of everything appended, synced or not.
+func (m *Mem) Bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data...)
+}
+
+// SyncedBytes returns a copy of the data that had been synced — what a
+// recovery after a crash would find.
+func (m *Mem) SyncedBytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data[:m.synced]...)
+}
+
+// Stats returns I/O accounting.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Reset implements Resetter.
+func (m *Mem) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.data = m.data[:0]
+	m.synced = 0
+	return nil
+}
+
+// --- Null -------------------------------------------------------------------
+
+// Null discards everything: the "logging disabled" configuration of the
+// paper's optimal baseline.
+type Null struct{}
+
+// NewNull returns a discarding store.
+func NewNull() Null { return Null{} }
+
+// Append implements Store.
+func (Null) Append([]byte) error { return nil }
+
+// Sync implements Store.
+func (Null) Sync() error { return nil }
+
+// Close implements Store.
+func (Null) Close() error { return nil }
+
+// --- Delayed ----------------------------------------------------------------
+
+// Delayed wraps a Store and sleeps on every Sync, emulating the latency
+// of a physical log disk on the commit critical path.
+type Delayed struct {
+	Inner Store
+	// SyncDelay is added to every Sync call.
+	SyncDelay time.Duration
+
+	mu      sync.Mutex // serializes syncs like a single disk head
+	pending int
+}
+
+// NewDelayed wraps inner with a per-sync latency.
+func NewDelayed(inner Store, syncDelay time.Duration) *Delayed {
+	return &Delayed{Inner: inner, SyncDelay: syncDelay}
+}
+
+// Append implements Store.
+func (d *Delayed) Append(p []byte) error { return d.Inner.Append(p) }
+
+// Sync implements Store. Concurrent Syncs serialize, as on one device.
+func (d *Delayed) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	time.Sleep(d.SyncDelay)
+	return d.Inner.Sync()
+}
+
+// Close implements Store.
+func (d *Delayed) Close() error { return d.Inner.Close() }

@@ -1,0 +1,212 @@
+package logstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFileAppendSyncClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.BytesAppended != 11 || st.Syncs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("file contents = %q", data)
+	}
+	// Operations after close fail (Close is idempotent).
+	if err := f.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := f.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestFileAppendsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	for _, chunk := range []string{"one", "two"} {
+		f, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Append([]byte(chunk))
+		f.Close()
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "onetwo" {
+		t.Fatalf("contents = %q", data)
+	}
+}
+
+func TestMemSyncedVsUnsynced(t *testing.T) {
+	m := NewMem()
+	m.Append([]byte("durable"))
+	m.Sync()
+	m.Append([]byte(" lost"))
+	if string(m.Bytes()) != "durable lost" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+	if string(m.SyncedBytes()) != "durable" {
+		t.Fatalf("SyncedBytes = %q", m.SyncedBytes())
+	}
+	st := m.Stats()
+	if st.BytesAppended != 12 || st.Syncs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMemCloseSyncs(t *testing.T) {
+	m := NewMem()
+	m.Append([]byte("data"))
+	m.Close()
+	if string(m.SyncedBytes()) != "data" {
+		t.Fatal("Close should sync")
+	}
+	if err := m.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := m.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close: %v", err)
+	}
+}
+
+func TestNull(t *testing.T) {
+	n := NewNull()
+	if err := n.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedAddsLatencyAndSerializes(t *testing.T) {
+	d := NewDelayed(NewMem(), 20*time.Millisecond)
+	d.Append([]byte("x"))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Sync()
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("3 concurrent syncs at 20ms each finished in %v; device must serialize", elapsed)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	m := NewMem()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Append(bytes.Repeat([]byte{'a'}, 10))
+				if i%10 == 0 {
+					m.Sync()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Stats().BytesAppended; got != 8*200*10 {
+		t.Fatalf("BytesAppended = %d", got)
+	}
+}
+
+func TestFileReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reset.log")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Append([]byte("old data"))
+	f.Sync()
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	f.Append([]byte("new"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "new" {
+		t.Fatalf("contents after reset = %q", data)
+	}
+}
+
+func TestFileResetClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	f, _ := OpenFile(path)
+	f.Close()
+	if err := f.Reset(); err != ErrClosed {
+		t.Fatalf("Reset after close: %v", err)
+	}
+}
+
+func TestMemReset(t *testing.T) {
+	m := NewMem()
+	m.Append([]byte("junk"))
+	m.Sync()
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Bytes()) != 0 || len(m.SyncedBytes()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	m.Close()
+	if err := m.Reset(); err != ErrClosed {
+		t.Fatalf("Reset after close: %v", err)
+	}
+}
+
+func TestResetHelper(t *testing.T) {
+	m := NewMem()
+	m.Append([]byte("x"))
+	ok, err := Reset(m)
+	if !ok || err != nil {
+		t.Fatalf("Reset(Mem) = %v, %v", ok, err)
+	}
+	if ok, _ := Reset(NewNull()); ok {
+		t.Fatal("Null should not report Resetter support")
+	}
+}

@@ -1,0 +1,29 @@
+package object_test
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+func ExampleClass() {
+	subscriber := object.MustClass("Subscriber",
+		object.Field{Name: "msisdn", Type: object.String},
+		object.Field{Name: "balanceCents", Type: object.Int},
+		object.Field{Name: "active", Type: object.Bool},
+	)
+	o := subscriber.New()
+	o.SetString("msisdn", "+358501234567")
+	o.SetInt("balanceCents", 1250)
+	o.SetBool("active", true)
+
+	// Encode for a transactional write; decode what a read returns.
+	back, err := subscriber.Decode(o.Encode())
+	if err != nil {
+		panic(err)
+	}
+	msisdn, _ := back.String("msisdn")
+	balance, _ := back.Int("balanceCents")
+	fmt.Printf("%s has %d cents\n", msisdn, balance)
+	// Output: +358501234567 has 1250 cents
+}

@@ -1,0 +1,431 @@
+// Package object is RODAIN's object-oriented data model: the
+// architecture's "Object-Oriented Database Management" subsystem. It
+// layers typed classes over the flat byte-valued store — a class declares
+// named, typed attributes; instances encode to a tagged binary form that
+// survives schema growth (unknown attributes are preserved, missing ones
+// default) — so telecom service data can be declared instead of
+// hand-packed.
+//
+//	var subscriber = object.MustClass("Subscriber",
+//	    object.Field{Name: "msisdn", Type: object.String},
+//	    object.Field{Name: "balanceCents", Type: object.Int},
+//	    object.Field{Name: "active", Type: object.Bool},
+//	)
+//	obj := subscriber.New()
+//	obj.SetString("msisdn", "+358501234567")
+//	bytes := obj.Encode()            // store with tx.Write
+//	back, err := subscriber.Decode(bytes)
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Type is an attribute type.
+type Type uint8
+
+// Attribute types.
+const (
+	// Int is a signed 64-bit integer.
+	Int Type = iota + 1
+	// Float is a 64-bit float.
+	Float
+	// String is a UTF-8 string.
+	String
+	// Bytes is an opaque byte slice.
+	Bytes
+	// Bool is a boolean.
+	Bool
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Bytes:
+		return "bytes"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Field declares one attribute of a class.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Class is a declared object type. Fields get stable tags in declaration
+// order (1-based), so adding fields at the end keeps old encodings
+// readable.
+type Class struct {
+	name   string
+	fields []Field
+	byName map[string]int // name → index
+}
+
+// Errors of the object layer.
+var (
+	ErrUnknownField = errors.New("object: unknown field")
+	ErrWrongType    = errors.New("object: wrong type")
+	ErrBadEncoding  = errors.New("object: bad encoding")
+)
+
+// NewClass declares a class. Field names must be unique and non-empty.
+func NewClass(name string, fields ...Field) (*Class, error) {
+	if name == "" {
+		return nil, errors.New("object: empty class name")
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("object: class %s has no fields", name)
+	}
+	c := &Class{name: name, fields: fields, byName: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("object: class %s: empty field name", name)
+		}
+		switch f.Type {
+		case Int, Float, String, Bytes, Bool:
+		default:
+			return nil, fmt.Errorf("object: class %s field %s: unknown type", name, f.Name)
+		}
+		if _, dup := c.byName[f.Name]; dup {
+			return nil, fmt.Errorf("object: class %s: duplicate field %s", name, f.Name)
+		}
+		c.byName[f.Name] = i
+	}
+	return c, nil
+}
+
+// MustClass is NewClass that panics on declaration errors (init-time
+// schemas).
+func MustClass(name string, fields ...Field) *Class {
+	c, err := NewClass(name, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name reports the class name.
+func (c *Class) Name() string { return c.name }
+
+// Fields returns the declared fields (shared slice; do not modify).
+func (c *Class) Fields() []Field { return c.fields }
+
+// New returns an instance with every attribute at its zero value.
+func (c *Class) New() *Object {
+	return &Object{class: c, values: make(map[string]any, len(c.fields))}
+}
+
+// Object is one instance of a class.
+type Object struct {
+	class  *Class
+	values map[string]any
+	// unknown preserves attributes with tags beyond the class's current
+	// schema (round-trips encodings from newer schema versions).
+	unknown []rawField
+}
+
+type rawField struct {
+	tag  uint32
+	wire uint8
+	data []byte
+}
+
+// Class reports the object's class.
+func (o *Object) Class() *Class { return o.class }
+
+func (o *Object) field(name string, want Type) (int, error) {
+	i, ok := o.class.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s.%s", ErrUnknownField, o.class.name, name)
+	}
+	if o.class.fields[i].Type != want {
+		return 0, fmt.Errorf("%w: %s.%s is %v", ErrWrongType, o.class.name, name, o.class.fields[i].Type)
+	}
+	return i, nil
+}
+
+// SetInt sets an Int attribute.
+func (o *Object) SetInt(name string, v int64) error {
+	if _, err := o.field(name, Int); err != nil {
+		return err
+	}
+	o.values[name] = v
+	return nil
+}
+
+// Int returns an Int attribute (zero if unset).
+func (o *Object) Int(name string) (int64, error) {
+	if _, err := o.field(name, Int); err != nil {
+		return 0, err
+	}
+	v, _ := o.values[name].(int64)
+	return v, nil
+}
+
+// SetFloat sets a Float attribute.
+func (o *Object) SetFloat(name string, v float64) error {
+	if _, err := o.field(name, Float); err != nil {
+		return err
+	}
+	o.values[name] = v
+	return nil
+}
+
+// Float returns a Float attribute.
+func (o *Object) Float(name string) (float64, error) {
+	if _, err := o.field(name, Float); err != nil {
+		return 0, err
+	}
+	v, _ := o.values[name].(float64)
+	return v, nil
+}
+
+// SetString sets a String attribute.
+func (o *Object) SetString(name, v string) error {
+	if _, err := o.field(name, String); err != nil {
+		return err
+	}
+	o.values[name] = v
+	return nil
+}
+
+// String returns a String attribute.
+func (o *Object) String(name string) (string, error) {
+	if _, err := o.field(name, String); err != nil {
+		return "", err
+	}
+	v, _ := o.values[name].(string)
+	return v, nil
+}
+
+// SetBytes sets a Bytes attribute (copied).
+func (o *Object) SetBytes(name string, v []byte) error {
+	if _, err := o.field(name, Bytes); err != nil {
+		return err
+	}
+	o.values[name] = append([]byte(nil), v...)
+	return nil
+}
+
+// Bytes returns a Bytes attribute (copy).
+func (o *Object) Bytes(name string) ([]byte, error) {
+	if _, err := o.field(name, Bytes); err != nil {
+		return nil, err
+	}
+	v, _ := o.values[name].([]byte)
+	return append([]byte(nil), v...), nil
+}
+
+// SetBool sets a Bool attribute.
+func (o *Object) SetBool(name string, v bool) error {
+	if _, err := o.field(name, Bool); err != nil {
+		return err
+	}
+	o.values[name] = v
+	return nil
+}
+
+// Bool returns a Bool attribute.
+func (o *Object) Bool(name string) (bool, error) {
+	if _, err := o.field(name, Bool); err != nil {
+		return false, err
+	}
+	v, _ := o.values[name].(bool)
+	return v, nil
+}
+
+// wire kinds
+const (
+	wireVarint = 0 // Int (zigzag), Bool
+	wireF64    = 1 // Float
+	wireBytes  = 2 // String, Bytes
+)
+
+// Encode serializes the object: a varint field count, then per attribute
+// tag, wire kind, payload. Zero-valued attributes are encoded too —
+// explicit beats implicit in a redo log after image.
+func (o *Object) Encode() []byte {
+	buf := make([]byte, 0, 16*len(o.class.fields))
+	count := uint64(len(o.class.fields) + len(o.unknown))
+	buf = binary.AppendUvarint(buf, count)
+	for i, f := range o.class.fields {
+		tag := uint32(i + 1)
+		buf = binary.AppendUvarint(buf, uint64(tag))
+		switch f.Type {
+		case Int:
+			v, _ := o.values[f.Name].(int64)
+			buf = append(buf, wireVarint)
+			buf = binary.AppendVarint(buf, v)
+		case Bool:
+			v, _ := o.values[f.Name].(bool)
+			buf = append(buf, wireVarint)
+			n := int64(0)
+			if v {
+				n = 1
+			}
+			buf = binary.AppendVarint(buf, n)
+		case Float:
+			v, _ := o.values[f.Name].(float64)
+			buf = append(buf, wireF64)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		case String:
+			v, _ := o.values[f.Name].(string)
+			buf = append(buf, wireBytes)
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			buf = append(buf, v...)
+		case Bytes:
+			v, _ := o.values[f.Name].([]byte)
+			buf = append(buf, wireBytes)
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			buf = append(buf, v...)
+		}
+	}
+	for _, u := range o.unknown {
+		buf = binary.AppendUvarint(buf, uint64(u.tag))
+		buf = append(buf, u.wire)
+		if u.wire == wireBytes {
+			buf = binary.AppendUvarint(buf, uint64(len(u.data)))
+		}
+		buf = append(buf, u.data...)
+	}
+	return buf
+}
+
+// Decode parses an encoding into an instance of c. Attributes with tags
+// the class does not declare are preserved opaquely; declared attributes
+// absent from the encoding stay at their zero values (schema growth in
+// both directions).
+func (c *Class) Decode(data []byte) (*Object, error) {
+	o := c.New()
+	off := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, ErrBadEncoding
+	}
+	off += n
+	if count > uint64(len(data)) { // cheap sanity bound: ≥1 byte per field
+		return nil, ErrBadEncoding
+	}
+	for i := uint64(0); i < count; i++ {
+		tag64, n := binary.Uvarint(data[off:])
+		if n <= 0 || tag64 > math.MaxUint32 {
+			return nil, ErrBadEncoding
+		}
+		off += n
+		if off >= len(data) {
+			return nil, ErrBadEncoding
+		}
+		wire := data[off]
+		off++
+		var payload []byte
+		switch wire {
+		case wireVarint:
+			v, n := binary.Varint(data[off:])
+			if n <= 0 {
+				return nil, ErrBadEncoding
+			}
+			payload = data[off : off+n]
+			off += n
+			if err := o.applyVarint(uint32(tag64), v, payload); err != nil {
+				return nil, err
+			}
+			continue
+		case wireF64:
+			if off+8 > len(data) {
+				return nil, ErrBadEncoding
+			}
+			payload = data[off : off+8]
+			off += 8
+		case wireBytes:
+			l, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, ErrBadEncoding
+			}
+			off += n
+			if l > uint64(len(data)-off) {
+				return nil, ErrBadEncoding
+			}
+			payload = data[off : off+int(l)]
+			off += int(l)
+		default:
+			return nil, ErrBadEncoding
+		}
+		if err := o.apply(uint32(tag64), wire, payload); err != nil {
+			return nil, err
+		}
+	}
+	if off != len(data) {
+		return nil, ErrBadEncoding
+	}
+	return o, nil
+}
+
+// applyVarint installs a varint-wire attribute.
+func (o *Object) applyVarint(tag uint32, v int64, raw []byte) error {
+	idx := int(tag) - 1
+	if idx < 0 || idx >= len(o.class.fields) {
+		o.unknown = append(o.unknown, rawField{tag: tag, wire: wireVarint, data: append([]byte(nil), raw...)})
+		return nil
+	}
+	f := o.class.fields[idx]
+	switch f.Type {
+	case Int:
+		o.values[f.Name] = v
+	case Bool:
+		o.values[f.Name] = v != 0
+	default:
+		return fmt.Errorf("%w: field %s encoded as varint, declared %v", ErrBadEncoding, f.Name, f.Type)
+	}
+	return nil
+}
+
+// apply installs a fixed64/bytes-wire attribute.
+func (o *Object) apply(tag uint32, wire uint8, payload []byte) error {
+	idx := int(tag) - 1
+	if idx < 0 || idx >= len(o.class.fields) {
+		o.unknown = append(o.unknown, rawField{tag: tag, wire: wire, data: append([]byte(nil), payload...)})
+		return nil
+	}
+	f := o.class.fields[idx]
+	switch {
+	case wire == wireF64 && f.Type == Float:
+		o.values[f.Name] = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	case wire == wireBytes && f.Type == String:
+		o.values[f.Name] = string(payload)
+	case wire == wireBytes && f.Type == Bytes:
+		o.values[f.Name] = append([]byte(nil), payload...)
+	default:
+		return fmt.Errorf("%w: field %s wire %d, declared %v", ErrBadEncoding, f.Name, wire, f.Type)
+	}
+	return nil
+}
+
+// GoString renders the object for debugging, attributes sorted by name.
+func (o *Object) GoString() string {
+	names := make([]string, 0, len(o.class.fields))
+	for _, f := range o.class.fields {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	s := o.class.name + "{"
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %v", n, o.values[n])
+	}
+	return s + "}"
+}

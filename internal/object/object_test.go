@@ -1,0 +1,272 @@
+package object
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func subscriberClass(t *testing.T) *Class {
+	t.Helper()
+	return MustClass("Subscriber",
+		Field{Name: "msisdn", Type: String},
+		Field{Name: "balanceCents", Type: Int},
+		Field{Name: "active", Type: Bool},
+		Field{Name: "weight", Type: Float},
+		Field{Name: "blob", Type: Bytes},
+	)
+}
+
+func TestClassValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []Field
+	}{
+		{"", []Field{{Name: "a", Type: Int}}},
+		{"C", nil},
+		{"C", []Field{{Name: "", Type: Int}}},
+		{"C", []Field{{Name: "a", Type: Type(99)}}},
+		{"C", []Field{{Name: "a", Type: Int}, {Name: "a", Type: Int}}},
+	}
+	for _, c := range cases {
+		if _, err := NewClass(c.name, c.fields...); err == nil {
+			t.Fatalf("class %q %v accepted", c.name, c.fields)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustClass did not panic")
+		}
+	}()
+	MustClass("")
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	c := subscriberClass(t)
+	o := c.New()
+	if err := o.SetString("msisdn", "+358501234567"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("balanceCents", -250); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetBool("active", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetFloat("weight", 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetBytes("blob", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := c.Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := back.String("msisdn")
+	i, _ := back.Int("balanceCents")
+	b, _ := back.Bool("active")
+	f, _ := back.Float("weight")
+	bl, _ := back.Bytes("blob")
+	if s != "+358501234567" || i != -250 || !b || f != 0.75 || string(bl) != "\x01\x02\x03" {
+		t.Fatalf("round trip: %#v", back)
+	}
+	if back.Class().Name() != "Subscriber" {
+		t.Fatalf("class = %s", back.Class().Name())
+	}
+}
+
+func TestZeroValuesRoundTrip(t *testing.T) {
+	c := subscriberClass(t)
+	back, err := c.Decode(c.New().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := back.String("msisdn")
+	i, _ := back.Int("balanceCents")
+	if s != "" || i != 0 {
+		t.Fatalf("zero object round trip: %#v", back)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	c := subscriberClass(t)
+	o := c.New()
+	if err := o.SetInt("msisdn", 1); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := o.SetString("nosuch", "x"); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.Int("msisdn"); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.Bool("nosuch"); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.Float("msisdn"); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.Bytes("msisdn"); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := o.String("balanceCents"); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchemaGrowthForward(t *testing.T) {
+	// Old schema encodes; new schema (extra field) decodes: the new
+	// field defaults.
+	v1 := MustClass("C", Field{Name: "a", Type: Int})
+	v2 := MustClass("C", Field{Name: "a", Type: Int}, Field{Name: "b", Type: String})
+	o := v1.New()
+	o.SetInt("a", 7)
+	back, err := v2.Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := back.Int("a")
+	b, _ := back.String("b")
+	if a != 7 || b != "" {
+		t.Fatalf("forward growth: a=%d b=%q", a, b)
+	}
+}
+
+func TestSchemaGrowthBackward(t *testing.T) {
+	// New schema encodes; old schema decodes and re-encodes without
+	// losing the unknown attribute.
+	v1 := MustClass("C", Field{Name: "a", Type: Int})
+	v2 := MustClass("C", Field{Name: "a", Type: Int}, Field{Name: "b", Type: String})
+	o := v2.New()
+	o.SetInt("a", 7)
+	o.SetString("b", "kept")
+	throughOld, err := v1.Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old schema cannot see "b"...
+	if _, err := throughOld.String("b"); !errors.Is(err, ErrUnknownField) {
+		t.Fatal("old schema sees the new field?")
+	}
+	// ...but must not destroy it.
+	back, err := v2.Decode(throughOld.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := back.String("b")
+	if b != "kept" {
+		t.Fatalf("unknown attribute lost: %q", b)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	c := subscriberClass(t)
+	cases := [][]byte{
+		nil,
+		{0xff},                 // bad count varint
+		{1},                    // count 1, no field
+		{1, 1},                 // tag, no wire
+		{1, 1, 9},              // unknown wire kind
+		{1, 1, wireF64, 1, 2},  // truncated float
+		{1, 1, wireBytes, 200}, // length beyond data
+	}
+	for _, data := range cases {
+		if _, err := c.Decode(data); err == nil {
+			t.Fatalf("garbage %v accepted", data)
+		}
+	}
+	// Trailing junk after all fields is also rejected.
+	good := c.New().Encode()
+	if _, err := c.Decode(append(good, 0)); err == nil {
+		t.Fatal("trailing junk accepted")
+	}
+}
+
+func TestWireTypeMismatchRejected(t *testing.T) {
+	// A field encoded as bytes but declared Int must be rejected, not
+	// silently coerced.
+	enc := MustClass("C", Field{Name: "a", Type: String})
+	dec := MustClass("C", Field{Name: "a", Type: Int})
+	o := enc.New()
+	o.SetString("a", "text")
+	if _, err := dec.Decode(o.Encode()); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGoString(t *testing.T) {
+	c := subscriberClass(t)
+	o := c.New()
+	o.SetString("msisdn", "+358")
+	s := o.GoString()
+	if !strings.Contains(s, "Subscriber{") || !strings.Contains(s, "msisdn: +358") {
+		t.Fatalf("GoString = %q", s)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, ty := range []Type{Int, Float, String, Bytes, Bool, Type(9)} {
+		if ty.String() == "" {
+			t.Fatal("empty type string")
+		}
+	}
+}
+
+// Property: every (int, float, string, bytes, bool) tuple round-trips.
+func TestPropertyRoundTrip(t *testing.T) {
+	c := MustClass("P",
+		Field{Name: "i", Type: Int},
+		Field{Name: "f", Type: Float},
+		Field{Name: "s", Type: String},
+		Field{Name: "b", Type: Bytes},
+		Field{Name: "t", Type: Bool},
+	)
+	fn := func(i int64, f float64, s string, b []byte, tt bool) bool {
+		o := c.New()
+		o.SetInt("i", i)
+		o.SetFloat("f", f)
+		o.SetString("s", s)
+		o.SetBytes("b", b)
+		o.SetBool("t", tt)
+		back, err := c.Decode(o.Encode())
+		if err != nil {
+			return false
+		}
+		gi, _ := back.Int("i")
+		gf, _ := back.Float("f")
+		gs, _ := back.String("s")
+		gb, _ := back.Bytes("b")
+		gt, _ := back.Bool("t")
+		if f != f { // NaN: compare bit identity via encode equality
+			return gf != gf && gi == i && gs == s && string(gb) == string(b) && gt == tt
+		}
+		return gi == i && gf == f && gs == s && string(gb) == string(b) && gt == tt
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzClassDecode: arbitrary bytes never panic the decoder.
+func FuzzClassDecode(f *testing.F) {
+	c := MustClass("F",
+		Field{Name: "i", Type: Int},
+		Field{Name: "s", Type: String},
+	)
+	o := c.New()
+	o.SetInt("i", 42)
+	o.SetString("s", "seed")
+	f.Add(o.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if obj, err := c.Decode(data); err == nil {
+			// Valid decodes must re-encode decodably.
+			if _, err := c.Decode(obj.Encode()); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+	})
+}

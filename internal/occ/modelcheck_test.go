@@ -1,0 +1,298 @@
+package occ
+
+// Exhaustive small-model check: enumerate EVERY interleaving of a small
+// set of transactions over a tiny database and verify that each protocol
+// accepts only timestamp-serializable histories. Unlike the randomized
+// harness in occ_test.go, this cannot miss a corner case within the
+// model bounds.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// mcOp is one step of a scripted transaction: read, write or delete an
+// object; validation is the implied final step.
+type mcOp struct {
+	kind mcKind
+	obj  store.ObjectID
+}
+
+type mcKind int
+
+const (
+	mcRead mcKind = iota
+	mcWrite
+	mcDelete
+)
+
+// mcScript is one transaction's operations (validation appended
+// implicitly as the last step).
+type mcScript []mcOp
+
+// interleavings enumerates all ways to interleave the step sequences of
+// n transactions, where transaction i has steps[i] steps. Each
+// interleaving is a sequence of transaction indices.
+func interleavings(steps []int) [][]int {
+	total := 0
+	for _, s := range steps {
+		total += s
+	}
+	var out [][]int
+	var cur []int
+	remaining := append([]int(nil), steps...)
+	var rec func()
+	rec = func() {
+		if len(cur) == total {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range remaining {
+			if remaining[i] == 0 {
+				continue
+			}
+			remaining[i]--
+			cur = append(cur, i)
+			rec()
+			cur = cur[:len(cur)-1]
+			remaining[i]++
+		}
+	}
+	rec()
+	return out
+}
+
+// mcRun executes one interleaving of the scripts under protocol k and
+// returns the committed history (ts → reads with observed versions,
+// writes). Restarted transactions are abandoned (not retried): the check
+// is about what the protocol ACCEPTS, not its liveness.
+func mcRun(k Kind, scripts []mcScript, order []int) ([]histEntry, *store.Store) {
+	db := store.New()
+	const nObjects = 2
+	for i := 0; i < nObjects; i++ {
+		db.Put(store.ObjectID(i), []byte{0})
+	}
+	c := NewController(k, db)
+
+	txns := make([]*txn.Transaction, len(scripts))
+	pos := make([]int, len(scripts))
+	dead := make([]bool, len(scripts))
+	for i := range scripts {
+		txns[i] = txn.New(txn.ID(i+1), txn.Firm, 0, txn.NoDeadline)
+		c.Begin(txns[i])
+	}
+	var history []histEntry
+	for _, i := range order {
+		if dead[i] {
+			pos[i]++ // consume the step slot; the txn is gone
+			continue
+		}
+		t := txns[i]
+		if _, d := c.Doomed(t); d {
+			dead[i] = true
+			c.Finish(t)
+			pos[i]++
+			continue
+		}
+		script := scripts[i]
+		step := pos[i]
+		pos[i]++
+		if step < len(script) {
+			op := script[step]
+			switch op.kind {
+			case mcRead:
+				if _, ok := t.Read(db, op.obj); ok {
+					if wts, observed := t.ObservedWriteTS(op.obj); observed {
+						if !c.OnRead(t, op.obj, wts) {
+							dead[i] = true
+							c.Finish(t)
+						}
+					}
+				}
+			case mcWrite:
+				t.StageWrite(op.obj, []byte{byte(i + 1)})
+				if !c.OnWrite(t, op.obj) {
+					dead[i] = true
+					c.Finish(t)
+				}
+			case mcDelete:
+				t.StageDelete(op.obj)
+				if !c.OnWrite(t, op.obj) {
+					dead[i] = true
+					c.Finish(t)
+				}
+			}
+			continue
+		}
+		// Final step: validation.
+		if r := c.Validate(t); r.OK {
+			h := histEntry{
+				ts:     t.CommitTS,
+				reads:  append([]txn.ReadEntry(nil), t.ReadSet()...),
+				writes: append([]store.ObjectID(nil), t.WriteIDs()...),
+			}
+			h.images = make(map[store.ObjectID][]byte, len(h.writes))
+			h.deletes = make(map[store.ObjectID]bool)
+			for _, id := range h.writes {
+				if t.IsDelete(id) {
+					h.deletes[id] = true
+					continue
+				}
+				img, _ := t.WriteImage(id)
+				h.images[id] = append([]byte(nil), img...)
+			}
+			history = append(history, h)
+		}
+		dead[i] = true
+		c.Finish(t)
+	}
+	return history, db
+}
+
+// checkHistory asserts the serializability condition on a committed
+// history: every read observed exactly the latest committed write with a
+// smaller timestamp.
+func checkHistory(t *testing.T, k Kind, scripts []mcScript, order []int, history []histEntry) {
+	t.Helper()
+	writersOf := map[store.ObjectID][]uint64{}
+	seen := map[uint64]bool{}
+	for _, h := range history {
+		if seen[h.ts] {
+			t.Fatalf("%v order %v: duplicate commit timestamp %d", k, order, h.ts)
+		}
+		seen[h.ts] = true
+		for _, w := range h.writes {
+			writersOf[w] = append(writersOf[w], h.ts)
+		}
+	}
+	for _, h := range history {
+		for _, re := range h.reads {
+			want := uint64(0)
+			for _, wts := range writersOf[re.ID] {
+				if wts < h.ts && wts > want {
+					want = wts
+				}
+			}
+			if re.WriteTS != want {
+				t.Fatalf("%v order %v: txn@%d read obj %d @%d, latest earlier write @%d — not serializable\nhistory: %+v",
+					k, order, h.ts, re.ID, re.WriteTS, want, history)
+			}
+			if re.WriteTS >= h.ts {
+				t.Fatalf("%v order %v: read from the future", k, order)
+			}
+		}
+	}
+}
+
+// TestModelCheckAllInterleavings runs every interleaving of three
+// adversarial transaction shapes over a two-object database through all
+// four protocols. With 3 transactions × 3 steps each this is
+// 9!/(3!3!3!) = 1680 interleavings per scenario per protocol.
+func TestModelCheckAllInterleavings(t *testing.T) {
+	r := func(o store.ObjectID) mcOp { return mcOp{kind: mcRead, obj: o} }
+	w := func(o store.ObjectID) mcOp { return mcOp{kind: mcWrite, obj: o} }
+	d := func(o store.ObjectID) mcOp { return mcOp{kind: mcDelete, obj: o} }
+
+	scenarios := [][]mcScript{
+		// Classic write skew shape: each reads the other's write target.
+		{{r(0), w(1)}, {r(1), w(0)}, {r(0), r(1)}},
+		// Read-modify-write collisions on one object.
+		{{r(0), w(0)}, {r(0), w(0)}, {r(0), w(0)}},
+		// Readers racing a blind writer across both objects.
+		{{w(0), w(1)}, {r(0), r(1)}, {r(1), r(0)}},
+		// Mixed: rmw, inverse rmw, and a read-only txn.
+		{{r(0), w(1)}, {w(0), r(1)}, {r(1), r(0)}},
+		// Deletes racing writes and readers of the same object.
+		{{r(0), d(0)}, {r(0), w(0)}, {r(0), r(0)}},
+		// Delete one object while another transaction recreates it.
+		{{d(0), w(1)}, {w(0), r(1)}, {r(0), w(0)}},
+	}
+
+	for si, scripts := range scenarios {
+		steps := make([]int, len(scripts))
+		for i, s := range scripts {
+			steps[i] = len(s) + 1 // +1 for validation
+		}
+		orders := interleavings(steps)
+		for _, k := range []Kind{DATI, TI, DA, BC} {
+			committed := 0
+			for _, order := range orders {
+				history, db := mcRun(k, scripts, order)
+				committed += len(history)
+				checkHistory(t, k, scripts, order, history)
+				checkFinalState(t, k, order, history, db)
+			}
+			if committed == 0 {
+				t.Fatalf("%v scenario %d: nothing ever committed across %d interleavings", k, si, len(orders))
+			}
+			t.Logf("%v scenario %d: %d interleavings, %d total commits", k, si, len(orders), committed)
+		}
+	}
+}
+
+// checkFinalState replays the committed history in timestamp order over
+// the initial database and requires byte-identical final contents — the
+// other half of serializability.
+func checkFinalState(t *testing.T, k Kind, order []int, history []histEntry, db *store.Store) {
+	t.Helper()
+	sorted := append([]histEntry(nil), history...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ts < sorted[j].ts })
+	replay := store.New()
+	for i := 0; i < 2; i++ {
+		replay.Put(store.ObjectID(i), []byte{0})
+	}
+	for _, h := range sorted {
+		for _, id := range h.writes {
+			if h.deletes[id] {
+				replay.ApplyDelete(id, h.ts)
+				continue
+			}
+			replay.Apply(id, h.images[id], h.ts)
+		}
+	}
+	if replay.Checksum() != db.Checksum() {
+		t.Fatalf("%v order %v: final state differs from timestamp-order replay; history: %+v", k, order, history)
+	}
+}
+
+// TestModelCheckIntervalBeatsBC verifies, exhaustively, the ordering
+// claim: over all interleavings the interval protocols never commit
+// fewer transactions than classic backward validation.
+func TestModelCheckIntervalBeatsBC(t *testing.T) {
+	r := func(o store.ObjectID) mcOp { return mcOp{kind: mcRead, obj: o} }
+	w := func(o store.ObjectID) mcOp { return mcOp{kind: mcWrite, obj: o} }
+	scripts := []mcScript{{r(0), w(1)}, {w(0), r(1)}, {r(1), r(0)}}
+	steps := []int{3, 3, 3}
+	orders := interleavings(steps)
+
+	commits := map[Kind]int{}
+	for _, k := range []Kind{DATI, BC} {
+		for _, order := range orders {
+			h, _ := mcRun(k, scripts, order)
+			commits[k] += len(h)
+		}
+	}
+	if commits[DATI] < commits[BC] {
+		t.Fatalf("DATI committed %d < BC %d over %d interleavings",
+			commits[DATI], commits[BC], len(orders))
+	}
+	t.Logf("commits over %d interleavings: DATI=%d BC=%d", len(orders), commits[DATI], commits[BC])
+}
+
+func TestInterleavingsCount(t *testing.T) {
+	// 2 txns × 2 steps: C(4,2) = 6 interleavings.
+	got := interleavings([]int{2, 2})
+	if len(got) != 6 {
+		t.Fatalf("interleavings = %d, want 6", len(got))
+	}
+	for _, o := range got {
+		if len(o) != 4 {
+			t.Fatalf("bad order %v", o)
+		}
+	}
+	_ = fmt.Sprint(got)
+}

@@ -1,0 +1,500 @@
+// Package occ implements the optimistic concurrency-control protocols of
+// the RODAIN database: OCC-DATI (the paper's protocol, combining OCC-DA
+// and OCC-TI), plus the OCC-TI, OCC-DA and classic backward-validation
+// OCC-BC baselines.
+//
+// All four protocols share a timestamp formulation. Every committed
+// transaction carries a unique commit timestamp; the serialization order
+// of accepted transactions is exactly commit-timestamp order. The
+// interval protocols (DA, TI, DATI) keep a timestamp interval
+// [TSLow, TSHigh] per active transaction ("dynamic adjustment of
+// serialization order using timestamp intervals"): a validating
+// transaction picks its final timestamp inside its interval and then
+// narrows the intervals of conflicting active transactions — a reader of
+// an overwritten item is pushed before the writer, a writer of a read or
+// written item is pushed after — restarting an active transaction only
+// when its interval becomes empty. OCC-BC instead restarts the validating
+// transaction whenever any item it read was overwritten after the read,
+// which is the classic source of unnecessary restarts the paper's
+// protocol avoids.
+//
+// Differences between the interval protocols as implemented here:
+//
+//   - OCC-DATI defers all conflict detection and interval adjustment to
+//     the atomic validation step and assigns the earliest feasible
+//     timestamp, leaving maximal room for active transactions to
+//     serialize after it.
+//   - OCC-TI additionally narrows the running transaction's interval at
+//     every read and write against the committed item timestamps, so a
+//     doomed transaction is detected (and restarted) as early as
+//     possible, at the price of bookkeeping on every data access.
+//   - OCC-DA assigns the latest feasible timestamp (validation order
+//     where unconstrained) and performs no access-time bookkeeping.
+//
+// A Controller is a passive, mutex-guarded component: the execution
+// engine (real or simulated) calls it at begin, read, write, validation
+// and finish. Validation applies the write phase inside the critical
+// section, matching the paper's "transactions are validated atomically".
+package occ
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Kind selects a concurrency-control protocol.
+type Kind int
+
+// The available protocols.
+const (
+	// DATI is OCC-DATI, the paper's protocol.
+	DATI Kind = iota
+	// TI is OCC-TI (Lee & Son): timestamp intervals with access-time
+	// narrowing.
+	TI
+	// DA is OCC-DA (Lam, Lam & Hung): dynamic adjustment at validation,
+	// latest feasible timestamp.
+	DA
+	// BC is classic backward-validation OCC: the validating transaction
+	// restarts on any read overwritten since it was read.
+	BC
+)
+
+// ParseKind converts a protocol name ("dati", "ti", "da", "bc") to a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "dati", "occ-dati", "OCC-DATI":
+		return DATI, nil
+	case "ti", "occ-ti", "OCC-TI":
+		return TI, nil
+	case "da", "occ-da", "OCC-DA":
+		return DA, nil
+	case "bc", "occ-bc", "OCC-BC":
+		return BC, nil
+	}
+	return 0, fmt.Errorf("occ: unknown protocol %q", name)
+}
+
+func (k Kind) String() string {
+	switch k {
+	case DATI:
+		return "OCC-DATI"
+	case TI:
+		return "OCC-TI"
+	case DA:
+		return "OCC-DA"
+	case BC:
+		return "OCC-BC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Result reports the outcome of a validation.
+type Result struct {
+	// OK reports whether the validating transaction was accepted. When
+	// true its CommitTS and SerialOrder are set and its writes have been
+	// applied to the database.
+	OK bool
+	// Victims lists active transactions whose timestamp interval became
+	// empty during adjustment; the engine must restart (or abort) them.
+	// Victims is only non-empty when OK is true.
+	Victims []*txn.Transaction
+}
+
+// Stats counts protocol events, for the restart-behaviour ablation.
+type Stats struct {
+	Validations     uint64 // validation attempts
+	Commits         uint64 // accepted validations
+	SelfRestarts    uint64 // validating transaction rejected
+	VictimRestarts  uint64 // active transactions killed by adjustment
+	AccessRestarts  uint64 // transactions doomed at read/write time (OCC-TI)
+	IntervalAdjusts uint64 // interval narrowings applied to actives
+}
+
+// Controller coordinates one protocol instance over one database. It is
+// safe for concurrent use.
+type Controller struct {
+	kind Kind
+	db   *store.Store
+
+	mu         sync.Mutex
+	active     map[txn.ID]*txn.Transaction
+	doomed     map[txn.ID]txn.AbortReason
+	usedTS     map[uint64]struct{}
+	maxTS      uint64
+	tsFloor    uint64 // all new timestamps must exceed this (takeover seeding)
+	nextSerial uint64
+	stats      Stats
+}
+
+// NewController returns a controller running protocol kind over db.
+func NewController(kind Kind, db *store.Store) *Controller {
+	return &Controller{
+		kind:   kind,
+		db:     db,
+		active: make(map[txn.ID]*txn.Transaction),
+		doomed: make(map[txn.ID]txn.AbortReason),
+		usedTS: make(map[uint64]struct{}),
+	}
+}
+
+// Kind reports the protocol in use.
+func (c *Controller) Kind() Kind { return c.kind }
+
+// Stats returns a snapshot of the protocol counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ActiveCount reports the number of registered active transactions.
+func (c *Controller) ActiveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.active)
+}
+
+// Seed initializes the validation-order and timestamp counters when a
+// node takes over from an applied log position: serial orders continue
+// from lastSerial and every new commit timestamp will exceed maxTS, so
+// the new epoch never collides with timestamps issued before the
+// failover.
+func (c *Controller) Seed(lastSerial, maxTS uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lastSerial > c.nextSerial {
+		c.nextSerial = lastSerial
+	}
+	if maxTS > c.maxTS {
+		c.maxTS = maxTS
+	}
+	if maxTS > c.tsFloor {
+		c.tsFloor = maxTS
+	}
+}
+
+// LastSerial reports the validation order of the most recent commit.
+func (c *Controller) LastSerial() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextSerial
+}
+
+// WithFrozen runs f while validation is blocked, passing the last issued
+// validation order. Because the write phase runs inside validation, the
+// database is transaction-consistent for the duration of f — this is the
+// quiescent point used to snapshot state for a rejoining mirror.
+func (c *Controller) WithFrozen(f func(lastSerial uint64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(c.nextSerial)
+}
+
+// Begin registers t as active. A transaction must be registered before
+// any OnRead/OnWrite/Validate call and must eventually be Finished.
+func (c *Controller) Begin(t *txn.Transaction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active[t.ID] = t
+	delete(c.doomed, t.ID)
+}
+
+// Finish unregisters t after commit or abort.
+func (c *Controller) Finish(t *txn.Transaction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.active, t.ID)
+	delete(c.doomed, t.ID)
+}
+
+// Doomed reports whether t has been marked for restart by another
+// transaction's validation, along with the reason. Engines should poll
+// this at operation boundaries.
+func (c *Controller) Doomed(t *txn.Transaction) (txn.AbortReason, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.doomed[t.ID]
+	return r, ok
+}
+
+// OnRead gives the protocol a chance to react to t reading object id
+// whose observed write timestamp is wts. It reports false if the
+// transaction is now doomed and should restart without further work.
+func (c *Controller) OnRead(t *txn.Transaction, id store.ObjectID, wts uint64) bool {
+	if c.kind != TI {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dead := c.doomed[t.ID]; dead {
+		return false
+	}
+	if wts+1 > t.TSLow {
+		t.TSLow = wts + 1
+	}
+	if t.TSLow > t.TSHigh {
+		c.stats.AccessRestarts++
+		c.doomed[t.ID] = txn.Conflict
+		return false
+	}
+	return true
+}
+
+// OnWrite gives the protocol a chance to react to t staging a write of
+// object id. It reports false if the transaction is now doomed.
+func (c *Controller) OnWrite(t *txn.Transaction, id store.ObjectID) bool {
+	if c.kind != TI {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dead := c.doomed[t.ID]; dead {
+		return false
+	}
+	if del := c.db.DeletedAt(id); del+1 > t.TSLow {
+		t.TSLow = del + 1
+	}
+	rts, wts, ok := c.db.Timestamps(id)
+	if ok {
+		if rts+1 > t.TSLow {
+			t.TSLow = rts + 1
+		}
+		if wts+1 > t.TSLow {
+			t.TSLow = wts + 1
+		}
+	}
+	if t.TSLow > t.TSHigh {
+		c.stats.AccessRestarts++
+		c.doomed[t.ID] = txn.Conflict
+		return false
+	}
+	return true
+}
+
+// Validate atomically validates t and, on success, applies its deferred
+// writes to the database, assigns its commit timestamp and serial
+// (validation) order, and adjusts conflicting active transactions.
+//
+// On failure (Result.OK == false) the engine must restart or abort t.
+// On success the engine must restart every transaction in Result.Victims.
+func (c *Controller) Validate(t *txn.Transaction) Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Validations++
+
+	if _, dead := c.doomed[t.ID]; dead {
+		delete(c.doomed, t.ID)
+		c.stats.SelfRestarts++
+		return Result{}
+	}
+
+	switch c.kind {
+	case BC:
+		return c.validateBC(t)
+	default:
+		return c.validateInterval(t)
+	}
+}
+
+// validateBC is classic backward validation: reject the validating
+// transaction if any item it read has been overwritten since.
+func (c *Controller) validateBC(t *txn.Transaction) Result {
+	for _, re := range t.ReadSet() {
+		_, wts, ok := c.db.Timestamps(re.ID)
+		// A read-set item that has vanished was deleted since the read
+		// — as much an invalidation as an overwrite.
+		if !ok || wts != re.WriteTS {
+			c.stats.SelfRestarts++
+			return Result{}
+		}
+	}
+	ts := c.maxTS + 1
+	c.commitLocked(t, ts)
+	return Result{OK: true}
+}
+
+// validateInterval implements the shared interval machinery for DA, TI
+// and DATI.
+func (c *Controller) validateInterval(t *txn.Transaction) Result {
+	lo, hi := t.TSLow, t.TSHigh
+	if c.tsFloor+1 > lo {
+		lo = c.tsFloor + 1
+	}
+
+	// Serialize after every committed writer whose value t read.
+	for _, re := range t.ReadSet() {
+		if re.WriteTS+1 > lo {
+			lo = re.WriteTS + 1
+		}
+	}
+	// Serialize after every committed reader and writer of items t
+	// writes. A transactionally deleted item keeps its deletion
+	// timestamp as a tombstone: a re-creating writer must serialize
+	// after the deletion (which itself serialized after every reader
+	// and writer the item had).
+	for _, id := range t.WriteIDs() {
+		if del := c.db.DeletedAt(id); del+1 > lo {
+			lo = del + 1
+		}
+		rts, wts, ok := c.db.Timestamps(id)
+		if !ok {
+			continue // brand-new object: unconstrained
+		}
+		if rts+1 > lo {
+			lo = rts + 1
+		}
+		if wts+1 > lo {
+			lo = wts + 1
+		}
+	}
+	if lo > hi {
+		c.stats.SelfRestarts++
+		return Result{}
+	}
+
+	ts, ok := c.pickTimestamp(lo, hi)
+	if !ok {
+		c.stats.SelfRestarts++
+		return Result{}
+	}
+
+	// Forward adjustment of conflicting active transactions.
+	var victims []*txn.Transaction
+	for _, u := range c.active {
+		if u.ID == t.ID {
+			continue
+		}
+		if _, dead := c.doomed[u.ID]; dead {
+			continue
+		}
+		precede, follow := conflict(t, u)
+		if !precede && !follow {
+			continue
+		}
+		if precede && ts-1 < u.TSHigh {
+			u.TSHigh = ts - 1
+			c.stats.IntervalAdjusts++
+		}
+		if follow && ts+1 > u.TSLow {
+			u.TSLow = ts + 1
+			c.stats.IntervalAdjusts++
+		}
+		if u.TSLow > u.TSHigh {
+			c.doomed[u.ID] = txn.Conflict
+			c.stats.VictimRestarts++
+			victims = append(victims, u)
+		}
+	}
+
+	c.commitLocked(t, ts)
+	return Result{OK: true, Victims: victims}
+}
+
+// conflict classifies the conflicts between validating t and active u:
+// precede means u must serialize before t (u read an item t overwrites);
+// follow means u must serialize after t (u writes an item t read or
+// wrote).
+func conflict(t, u *txn.Transaction) (precede, follow bool) {
+	for _, id := range t.WriteIDs() {
+		if u.ReadsObject(id) {
+			precede = true
+		}
+		if u.WritesObject(id) {
+			follow = true
+		}
+		if precede && follow {
+			return
+		}
+	}
+	for _, re := range t.ReadSet() {
+		if u.WritesObject(re.ID) {
+			follow = true
+			if precede {
+				return
+			}
+		}
+	}
+	return
+}
+
+// tsGap is the spacing between freshly allocated commit timestamps.
+// Fresh (upper-unconstrained) validations take gap-spaced slots so that a
+// transaction which must later serialize *between* two committed ones —
+// the overrun reader that interval adjustment saves from restarting —
+// still finds a free integer in the gap.
+const tsGap = 1 << 16
+
+// pickTimestamp chooses a free timestamp in [lo, hi]. Upper-constrained
+// transactions squeeze into the gap (earliest slot for DATI/TI, latest
+// for DA); unconstrained ones take a fresh gap-spaced slot — the earliest
+// feasible one for DATI/TI, the next after all issued timestamps
+// (validation order) for DA.
+func (c *Controller) pickTimestamp(lo, hi uint64) (uint64, bool) {
+	if hi == math.MaxUint64 {
+		ts := nextGapSlot(lo)
+		if c.kind == DA {
+			if m := nextGapSlot(c.maxTS); m > ts {
+				ts = m
+			}
+		}
+		for {
+			if _, used := c.usedTS[ts]; !used {
+				return ts, true
+			}
+			ts += tsGap
+		}
+	}
+	if c.kind == DA {
+		for ts := hi; ts >= lo; ts-- {
+			if _, used := c.usedTS[ts]; !used {
+				return ts, true
+			}
+			if ts == 0 {
+				break
+			}
+		}
+		return 0, false
+	}
+	for ts := lo; ts <= hi; ts++ {
+		if _, used := c.usedTS[ts]; !used {
+			return ts, true
+		}
+	}
+	return 0, false
+}
+
+// nextGapSlot returns the smallest multiple of tsGap strictly above v.
+func nextGapSlot(v uint64) uint64 { return (v/tsGap + 1) * tsGap }
+
+// maxUsedTS bounds the issued-timestamp set. When it fills, the floor
+// rises to maxTS and the set is cleared: every future timestamp must
+// exceed the floor, so uniqueness holds without remembering old slots.
+// Active transactions squeezed into gaps below the new floor restart —
+// a rare, bounded hiccup traded for bounded memory on long-lived nodes.
+const maxUsedTS = 1 << 17
+
+// commitLocked finalizes an accepted validation: assigns timestamps,
+// applies the write phase and stamps item read timestamps.
+func (c *Controller) commitLocked(t *txn.Transaction, ts uint64) {
+	c.usedTS[ts] = struct{}{}
+	if ts > c.maxTS {
+		c.maxTS = ts
+	}
+	if len(c.usedTS) >= maxUsedTS {
+		c.usedTS = make(map[uint64]struct{})
+		if c.maxTS > c.tsFloor {
+			c.tsFloor = c.maxTS
+		}
+	}
+	c.nextSerial++
+	t.CommitTS = ts
+	t.SerialOrder = c.nextSerial
+	t.ApplyWrites(c.db)
+	c.stats.Commits++
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FailoverClient is a client that knows every node of a RODAIN pair and
+// fails over transparently: when the connection drops or the node
+// answers "ERR not-serving" (it is a mirror), the client rotates to the
+// next address and retries. Telecom front ends keep dialing through a
+// takeover; so does this.
+type FailoverClient struct {
+	addrs   []string
+	timeout time.Duration
+	budget  time.Duration
+
+	mu  sync.Mutex
+	cur int
+	c   *Client
+}
+
+// DialFailover connects to the first reachable node of addrs. timeout
+// bounds each dial; budget bounds how long one Do may spend failing
+// over before giving up.
+func DialFailover(addrs []string, timeout, budget time.Duration) (*FailoverClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("service: no addresses")
+	}
+	if budget <= 0 {
+		budget = 5 * time.Second
+	}
+	f := &FailoverClient{addrs: addrs, timeout: timeout, budget: budget}
+	if err := f.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// reconnectLocked tries every address once, starting at cur.
+func (f *FailoverClient) reconnectLocked() error {
+	var lastErr error
+	for i := 0; i < len(f.addrs); i++ {
+		idx := (f.cur + i) % len(f.addrs)
+		c, err := Dial(f.addrs[idx], f.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if f.c != nil {
+			f.c.Close()
+		}
+		f.c = c
+		f.cur = idx
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("service: all nodes unreachable")
+	}
+	return lastErr
+}
+
+// Current reports the address currently in use.
+func (f *FailoverClient) Current() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.addrs[f.cur]
+}
+
+// Do sends one request, failing over between nodes until it gets a
+// served response or the failover budget is exhausted. MISS responses
+// are returned as-is — a real-time abort is an answer, not a failure.
+func (f *FailoverClient) Do(line string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	deadline := time.Now().Add(f.budget)
+	var lastErr error
+	for {
+		if f.c != nil {
+			resp, err := f.c.Do(line)
+			switch {
+			case err == nil && !strings.HasPrefix(resp, "ERR not-serving"):
+				return resp, nil
+			case err == nil:
+				// A mirror: rotate to the next node.
+				lastErr = fmt.Errorf("service: %s is not serving", f.addrs[f.cur])
+			default:
+				lastErr = err
+			}
+			f.c.Close()
+			f.c = nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("service: failover budget exhausted: %w", lastErr)
+		}
+		f.cur = (f.cur + 1) % len(f.addrs)
+		if err := f.reconnectLocked(); err != nil {
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// Close disconnects.
+func (f *FailoverClient) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.c == nil {
+		return nil
+	}
+	err := f.c.Close()
+	f.c = nil
+	return err
+}

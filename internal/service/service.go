@@ -1,0 +1,428 @@
+// Package service is the interface process of a RODAIN node: a
+// line-based TCP protocol through which clients submit transactions
+// (the prototype's requests arrived through exactly such a front end).
+//
+// Protocol (one request per line, space-separated, values are Go-quoted
+// strings):
+//
+//	DEADLINE <ms>                 set this connection's deadline
+//	CLASS firm|soft|nonrt         set this connection's criticality class
+//	GET <id>                      read-only transaction
+//	SET <id> <value>              update transaction (read + write)
+//	DEL <id>                      delete transaction
+//	TRANSLATE <number>            number-translation service provision
+//	REROUTE <number> <dest>       update service provision
+//	BALANCE <subscriber>          read a subscriber profile's balance
+//	CHARGE <subscriber> <cents>   debit a call charge (balance-checked)
+//	TOPUP <subscriber> <cents>    credit a subscriber
+//	STATS                         node statistics
+//	QUIT
+//
+// Responses: "OK ...", "ERR <reason>", or "MISS <reason>" for real-time
+// aborts (deadline, overload, conflict) — the client counts those
+// toward the miss ratio.
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	rodain "repro"
+	"repro/internal/telecom"
+)
+
+// Server serves the client protocol over a DB node.
+type Server struct {
+	db *rodain.DB
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server over db.
+func NewServer(db *rodain.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting clients on addr and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and disconnects clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	sess := &session{deadline: 50 * time.Millisecond, class: rodain.Firm}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := strings.ToUpper(fields[0])
+		if cmd == "QUIT" {
+			fmt.Fprintln(w, "OK bye")
+			w.Flush()
+			return
+		}
+		resp := s.handle(cmd, fields[1:], sess)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// session holds per-connection transaction settings.
+type session struct {
+	deadline time.Duration
+	class    rodain.Class
+}
+
+// view runs fn with the session's class and deadline (read-only intent).
+func (s *Server) view(sess *session, fn func(*rodain.Tx) error) error {
+	return s.db.Exec(sess.class, sess.deadline, 0, fn)
+}
+
+// update runs fn with the session's class and deadline.
+func (s *Server) update(sess *session, fn func(*rodain.Tx) error) error {
+	return s.db.Exec(sess.class, sess.deadline, 0, fn)
+}
+
+func (s *Server) handle(cmd string, args []string, sess *session) string {
+	switch cmd {
+	case "DEADLINE":
+		if len(args) != 1 {
+			return "ERR usage: DEADLINE <ms>"
+		}
+		ms, err := strconv.Atoi(args[0])
+		if err != nil || ms <= 0 {
+			return "ERR bad deadline"
+		}
+		sess.deadline = time.Duration(ms) * time.Millisecond
+		return "OK"
+	case "CLASS":
+		if len(args) != 1 {
+			return "ERR usage: CLASS firm|soft|nonrt"
+		}
+		switch strings.ToLower(args[0]) {
+		case "firm":
+			sess.class = rodain.Firm
+		case "soft":
+			sess.class = rodain.Soft
+		case "nonrt":
+			sess.class = rodain.NonRealTime
+		default:
+			return "ERR unknown class " + args[0]
+		}
+		return "OK"
+	case "GET":
+		if len(args) != 1 {
+			return "ERR usage: GET <id>"
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		var value []byte
+		err = s.view(sess, func(tx *rodain.Tx) error {
+			v, err := tx.Read(id)
+			value = v
+			return err
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return "OK " + strconv.Quote(string(value))
+	case "SET":
+		if len(args) != 2 {
+			return "ERR usage: SET <id> <value>"
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		value, err := strconv.Unquote(args[1])
+		if err != nil {
+			value = args[1] // allow bare words
+		}
+		err = s.update(sess, func(tx *rodain.Tx) error {
+			if _, err := tx.Read(id); err != nil {
+				return err
+			}
+			return tx.Write(id, []byte(value))
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return "OK"
+	case "DEL":
+		if len(args) != 1 {
+			return "ERR usage: DEL <id>"
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		err = s.update(sess, func(tx *rodain.Tx) error {
+			if _, err := tx.Read(id); err != nil {
+				return err
+			}
+			return tx.Delete(id)
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return "OK"
+	case "TRANSLATE":
+		if len(args) != 1 {
+			return "ERR usage: TRANSLATE <number>"
+		}
+		id, err := telecom.NumberToID(args[0])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		var entry *telecom.Entry
+		err = s.view(sess, func(tx *rodain.Tx) error {
+			e, err := telecom.Translate(func(id rodain.ObjectID) ([]byte, bool) {
+				v, rerr := tx.Read(id)
+				return v, rerr == nil
+			}, id)
+			entry = e
+			return err
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return fmt.Sprintf("OK %s v%d", entry.Routed, entry.Version)
+	case "REROUTE":
+		if len(args) != 2 {
+			return "ERR usage: REROUTE <number> <dest>"
+		}
+		id, err := telecom.NumberToID(args[0])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		err = s.update(sess, func(tx *rodain.Tx) error {
+			v, err := tx.Read(id)
+			if err != nil {
+				return err
+			}
+			old, err := telecom.Decode(v)
+			if err != nil {
+				return err
+			}
+			return tx.Write(id, telecom.Encode(telecom.Reroute(old, args[1])))
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return "OK"
+	case "BALANCE":
+		if len(args) != 1 {
+			return "ERR usage: BALANCE <subscriber>"
+		}
+		idx, err := strconv.Atoi(args[0])
+		if err != nil || idx < 0 {
+			return "ERR bad subscriber index"
+		}
+		var balance int64
+		var prepaid bool
+		err = s.view(sess, func(tx *rodain.Tx) error {
+			enc, err := tx.Read(telecom.SubscriberID(idx))
+			if err != nil {
+				return err
+			}
+			o, err := telecom.Subscriber.Decode(enc)
+			if err != nil {
+				return err
+			}
+			balance, _ = o.Int("balanceCents")
+			prepaid, _ = o.Bool("prepaid")
+			return nil
+		})
+		if err != nil {
+			return classify(err)
+		}
+		kind := "postpaid"
+		if prepaid {
+			kind = "prepaid"
+		}
+		return fmt.Sprintf("OK %d %s", balance, kind)
+	case "CHARGE", "TOPUP":
+		if len(args) != 2 {
+			return "ERR usage: " + cmd + " <subscriber> <cents>"
+		}
+		idx, err := strconv.Atoi(args[0])
+		if err != nil || idx < 0 {
+			return "ERR bad subscriber index"
+		}
+		cents, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "ERR bad amount"
+		}
+		err = s.update(sess, func(tx *rodain.Tx) error {
+			id := telecom.SubscriberID(idx)
+			enc, err := tx.Read(id)
+			if err != nil {
+				return err
+			}
+			var next []byte
+			if cmd == "CHARGE" {
+				next, err = telecom.Charge(enc, cents)
+			} else {
+				next, err = telecom.TopUp(enc, cents)
+			}
+			if err != nil {
+				return err
+			}
+			return tx.Write(id, next)
+		})
+		if err != nil {
+			return classify(err)
+		}
+		return "OK"
+	case "STATS":
+		st := s.db.Stats()
+		return fmt.Sprintf("OK mode=%s log=%s submitted=%d committed=%d missed=%d miss=%.4f resp=%v cwait=%v",
+			st.Mode, st.LogMode, st.Outcome.Submitted, st.Outcome.Committed,
+			st.Outcome.Missed, st.MissRatio, st.MeanResponse, st.MeanCommitWait)
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+func parseID(s string) (rodain.ObjectID, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad object id %q", s)
+	}
+	return rodain.ObjectID(v), nil
+}
+
+// classify maps real-time aborts to MISS responses so clients can count
+// them; everything else is an ERR.
+func classify(err error) string {
+	switch {
+	case errors.Is(err, rodain.ErrDeadline):
+		return "MISS deadline"
+	case errors.Is(err, rodain.ErrOverload):
+		return "MISS overload"
+	case errors.Is(err, rodain.ErrConflict):
+		return "MISS conflict"
+	case errors.Is(err, rodain.ErrNotServing), errors.Is(err, rodain.ErrClosed):
+		return "ERR not-serving"
+	default:
+		return "ERR " + err.Error()
+	}
+}
+
+// Client is a protocol client.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to a node's service port.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Do sends one request line and returns the response line.
+func (c *Client) Do(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.w, line); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("service: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+// Miss reports whether a response line is a real-time miss.
+func Miss(resp string) bool { return strings.HasPrefix(resp, "MISS") }
+
+// OK reports whether a response line is a success.
+func OK(resp string) bool { return strings.HasPrefix(resp, "OK") }
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,688 @@
+// Package sim is a discrete-event simulation of a RODAIN node pair. It
+// reproduces the paper's experimental study deterministically: the same
+// concurrency controller (package occ), EDF ready queue and overload
+// manager (package sched) and transaction model (package txn) as the
+// real engine run against virtual time, with a calibrated cost model
+// standing in for the prototype's 200 MHz Pentium Pro, its disk, and the
+// node interconnect.
+//
+// The simulated primary has one CPU. Transactions are sequences of
+// steps (operations, validation, commit processing), each charging the
+// CPU its modeled cost; between steps the transaction re-enters the
+// modified-EDF ready queue, so preemption happens at operation
+// boundaries. The commit path depends on the logging mode: shipping to
+// the mirror costs a message round trip through the mirror's CPU;
+// transient-mode disk logging serializes commits through a disk device;
+// the no-log baselines skip the wait entirely.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/occ"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// CostModel holds the per-operation costs of the simulated hardware.
+// Defaults are calibrated so the system saturates at 200–300
+// transactions per second, the band the paper reports for its prototype.
+type CostModel struct {
+	// TxnOverhead is charged once per attempt (begin + bookkeeping).
+	TxnOverhead time.Duration
+	// PerRead is the CPU cost of one transactional read.
+	PerRead time.Duration
+	// PerWriteStage is the CPU cost of staging one deferred write.
+	PerWriteStage time.Duration
+	// Validate is the base CPU cost of atomic validation.
+	Validate time.Duration
+	// ApplyPerWrite is the write-phase CPU cost per updated item.
+	ApplyPerWrite time.Duration
+	// LogRecordBuild is the CPU cost of generating one log record
+	// (writes + the commit record); zero records are built in
+	// LogNone mode.
+	LogRecordBuild time.Duration
+	// MsgCPU is the CPU cost of sending or receiving one message.
+	MsgCPU time.Duration
+	// MirrorPerRecord is the mirror CPU cost of processing one record.
+	MirrorPerRecord time.Duration
+	// NetLatency is the one-way network latency between the nodes.
+	NetLatency time.Duration
+	// DiskLatency is the latency of one log flush (seek + write +
+	// controller overhead); the log disk handles one flush at a time.
+	DiskLatency time.Duration
+	// MirrorFlushEvery is how often the mirror flushes buffered log
+	// records to its disk (asynchronously).
+	MirrorFlushEvery time.Duration
+}
+
+// DefaultCostModel returns the calibration described in DESIGN.md §7.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TxnOverhead:      800 * time.Microsecond,
+		PerRead:          600 * time.Microsecond,
+		PerWriteStage:    300 * time.Microsecond,
+		Validate:         400 * time.Microsecond,
+		ApplyPerWrite:    200 * time.Microsecond,
+		LogRecordBuild:   150 * time.Microsecond,
+		MsgCPU:           150 * time.Microsecond,
+		MirrorPerRecord:  200 * time.Microsecond,
+		NetLatency:       350 * time.Microsecond,
+		DiskLatency:      8 * time.Millisecond,
+		MirrorFlushEvery: 20 * time.Millisecond,
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Workload workload.Config
+	Cost     CostModel
+	// LogMode selects the commit path (see core.LogMode).
+	LogMode core.LogMode
+	// MirrorDisk controls whether the mirror stores logs to its disk
+	// (only meaningful with LogShip).
+	MirrorDisk bool
+	// Protocol is the concurrency-control protocol (default OCC-DATI).
+	Protocol occ.Kind
+	// Overload configures the overload manager; zero uses the paper's
+	// defaults (50 active transactions).
+	Overload sched.OverloadConfig
+	// MaxRestarts bounds per-transaction restarts (default 10).
+	MaxRestarts int
+	// NonRTReserve is the scheduler reservation for non-RT work.
+	NonRTReserve float64
+	// Trace, when non-nil, replaces the generated workload: the
+	// simulator replays exactly these transactions (an off-line test
+	// file loaded with workload.ReadTrace). Workload is still used for
+	// the database size and value sizes.
+	Trace []*workload.Spec
+	// FailMirrorAt, when > 0 with LogShip, kills the mirror at this
+	// virtual time: the node switches to transient mode (LogDisk) for
+	// every commit that starts afterwards — the dynamic version of the
+	// paper's normal-vs-transient comparison. Commits already in flight
+	// complete against the mirror (it processed their records before
+	// dying).
+	FailMirrorAt time.Duration
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Outcome metrics.Snapshot
+	// MissRatio is the paper's headline metric.
+	MissRatio float64
+	// MeanResponse and MeanCommitWait summarize latency.
+	MeanResponse   time.Duration
+	MeanCommitWait time.Duration
+	P95Response    time.Duration
+	// Commit-wait distribution detail: the predictability of the
+	// commit phase is the paper's qualitative argument for the mirror.
+	CommitWaitP95 time.Duration
+	CommitWaitP99 time.Duration
+	CommitWaitMax time.Duration
+	// CPUBusy and DiskBusy are utilizations of the primary resources;
+	// MirrorCPUBusy of the stand-by CPU.
+	CPUBusy       float64
+	DiskBusy      float64
+	MirrorCPUBusy float64
+	// OCC are the concurrency-control counters.
+	OCC occ.Stats
+	// Duration is the simulated span of the session.
+	Duration time.Duration
+	// MirrorBacklog is the peak count of log records buffered on the
+	// mirror awaiting its disk.
+	MirrorBacklog int
+	// Timeline is the per-second view of the session (populated when
+	// the configuration asks for it via FailMirrorAt, or always — it is
+	// cheap).
+	Timeline []TimelineBucket
+}
+
+// TimelineBucket is one second of the session.
+type TimelineBucket struct {
+	Second    int
+	Committed uint64
+	Missed    uint64
+	// MeanCommitWait is the mean LogWait of commits completing in this
+	// second.
+	MeanCommitWait time.Duration
+}
+
+// resource is a FIFO-served device (disk, mirror CPU).
+type resource struct {
+	loop *simtime.Loop
+	busy bool
+	q    []work
+	used simtime.Duration
+	peak int
+}
+
+type work struct {
+	cost simtime.Duration
+	fn   func()
+}
+
+func (r *resource) enqueue(cost simtime.Duration, fn func()) {
+	r.q = append(r.q, work{cost, fn})
+	if len(r.q) > r.peak {
+		r.peak = len(r.q)
+	}
+	r.dispatch()
+}
+
+func (r *resource) dispatch() {
+	if r.busy || len(r.q) == 0 {
+		return
+	}
+	w := r.q[0]
+	r.q = r.q[1:]
+	r.busy = true
+	r.used += w.cost
+	r.loop.After(w.cost, func() {
+		r.busy = false
+		if w.fn != nil {
+			w.fn()
+		}
+		r.dispatch()
+	})
+}
+
+type simTxn struct {
+	t       *txn.Transaction
+	spec    *workload.Spec
+	n       int // transaction number, for after-image generation
+	opIndex int // next operation; len(reads)+len(writes) → validate
+	// commitStarted is when validation completed, for the LogWait
+	// (commit-wait) measurement of shipped transactions.
+	commitStarted simtime.Time
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	cfg  Config
+	cost CostModel
+	loop *simtime.Loop
+	rng  *rand.Rand
+
+	db       *store.Store
+	ctl      *occ.Controller
+	ready    *sched.Queue
+	overload *sched.Overload
+	outcome  *metrics.Outcome
+	resp     *metrics.Histogram
+	cwait    *metrics.Histogram
+
+	cpuBusy bool
+	cpuUsed simtime.Duration
+
+	disk      *resource // primary log disk (transient mode)
+	mirrorCPU *resource
+	mirrorDsk *resource
+
+	gen       *workload.Generator
+	traceIdx  int
+	txns      map[txn.ID]*simTxn
+	nextID    txn.ID
+	remaining int // transactions not yet terminal
+
+	mirrorBuffered int // records awaiting the mirror's flush
+	mirrorBacklog  int
+	flushing       bool
+
+	// effective logging mode; flips from LogShip to LogDisk at
+	// FailMirrorAt.
+	mode core.LogMode
+
+	timeline []TimelineBucket
+}
+
+// New builds a simulation from cfg.
+func New(cfg Config) *Sim {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 10
+	}
+	loop := simtime.NewLoop()
+	db := store.New()
+	workload.Populate(db, cfg.Workload)
+	s := &Sim{
+		cfg:      cfg,
+		cost:     cfg.Cost,
+		loop:     loop,
+		rng:      rand.New(rand.NewSource(cfg.Workload.Seed + 7919)),
+		db:       db,
+		ctl:      occ.NewController(cfg.Protocol, db),
+		ready:    sched.NewQueue(cfg.NonRTReserve),
+		overload: sched.NewOverload(cfg.Overload),
+		outcome:  metrics.NewOutcome(),
+		resp:     new(metrics.Histogram),
+		cwait:    new(metrics.Histogram),
+		gen:      workload.NewGenerator(cfg.Workload),
+		txns:     make(map[txn.ID]*simTxn),
+	}
+	s.disk = &resource{loop: loop}
+	s.mirrorCPU = &resource{loop: loop}
+	s.mirrorDsk = &resource{loop: loop}
+	s.mode = cfg.LogMode
+	if cfg.FailMirrorAt > 0 && cfg.LogMode == core.LogShip {
+		loop.After(simtime.Duration(cfg.FailMirrorAt), func() {
+			s.mode = core.LogDisk
+		})
+	}
+	return s
+}
+
+// Run executes the session to completion and returns the result.
+func (s *Sim) Run() Result {
+	s.scheduleNextArrival()
+	s.loop.Run()
+	return s.result()
+}
+
+func (s *Sim) scheduleNextArrival() {
+	var spec *workload.Spec
+	if s.cfg.Trace != nil {
+		if s.traceIdx >= len(s.cfg.Trace) {
+			return
+		}
+		spec = s.cfg.Trace[s.traceIdx]
+		s.traceIdx++
+	} else {
+		spec = s.gen.Next()
+	}
+	if spec == nil {
+		return
+	}
+	s.loop.At(spec.Arrival, func() {
+		s.arrive(spec)
+		s.scheduleNextArrival()
+	})
+}
+
+func (s *Sim) arrive(spec *workload.Spec) {
+	s.outcome.Submit()
+	s.remaining++
+	now := s.loop.Now()
+	if !s.overload.Admit(now) {
+		s.outcome.Abort(txn.OverloadDenied)
+		s.bucket(now).Missed++
+		s.remaining--
+		return
+	}
+	deadline := txn.NoDeadline
+	if spec.Class != txn.NonRealTime {
+		deadline = now.Add(simtime.Duration(spec.Deadline))
+	}
+	s.nextID++
+	t := txn.New(s.nextID, spec.Class, now, deadline)
+	st := &simTxn{t: t, spec: spec, n: int(s.nextID)}
+	s.txns[t.ID] = st
+	s.ctl.Begin(t)
+	s.ready.Push(t)
+	s.tryDispatch()
+}
+
+// tryDispatch gives the CPU to the next ready transaction.
+func (s *Sim) tryDispatch() {
+	if s.cpuBusy {
+		return
+	}
+	now := s.loop.Now()
+	for _, dead := range s.ready.DropExpired(now) {
+		s.terminal(s.txns[dead.ID], txn.DeadlineMiss)
+	}
+	t := s.ready.Pop()
+	if t == nil {
+		return
+	}
+	st := s.txns[t.ID]
+	if st == nil {
+		s.tryDispatch()
+		return
+	}
+	// Doomed transactions restart without consuming the step's cost —
+	// the controller already knows they cannot validate.
+	if _, dead := s.ctl.Doomed(t); dead {
+		s.restart(st)
+		s.tryDispatch()
+		return
+	}
+	cost := s.stepCost(st)
+	s.cpuBusy = true
+	s.cpuUsed += cost
+	s.loop.After(cost, func() {
+		s.cpuBusy = false
+		s.finishStep(st)
+		s.tryDispatch()
+	})
+}
+
+// opsOf counts a spec's operations: reads, then writes, then deletes.
+func opsOf(spec *workload.Spec) int {
+	return len(spec.Reads) + len(spec.Writes) + len(spec.Deletes)
+}
+
+// stepCost prices the step the transaction is about to perform.
+func (s *Sim) stepCost(st *simTxn) simtime.Duration {
+	ops := opsOf(st.spec)
+	mutations := len(st.spec.Writes) + len(st.spec.Deletes)
+	switch {
+	case st.opIndex == 0:
+		return s.cost.TxnOverhead + s.opCost(st)
+	case st.opIndex < ops:
+		return s.opCost(st)
+	case st.opIndex == ops: // validation + write phase + log build
+		c := s.cost.Validate + simtime.Duration(mutations)*s.cost.ApplyPerWrite
+		if s.mode != core.LogNone {
+			c += simtime.Duration(mutations+1) * s.cost.LogRecordBuild
+		}
+		return c
+	default: // commit processing (ship send / ack receive)
+		return s.cost.MsgCPU
+	}
+}
+
+func (s *Sim) opCost(st *simTxn) simtime.Duration {
+	if st.opIndex < len(st.spec.Reads) {
+		return s.cost.PerRead
+	}
+	return s.cost.PerWriteStage
+}
+
+// finishStep performs the logic whose cost was just charged.
+func (s *Sim) finishStep(st *simTxn) {
+	t := st.t
+	now := s.loop.Now()
+	if t.Class == txn.Firm && t.Expired(now) {
+		s.ctl.Finish(t)
+		s.terminal(st, txn.DeadlineMiss)
+		return
+	}
+	if _, dead := s.ctl.Doomed(t); dead {
+		s.restart(st)
+		return
+	}
+	ops := opsOf(st.spec)
+	switch {
+	case st.opIndex < len(st.spec.Reads): // a read
+		id := st.spec.Reads[st.opIndex]
+		if _, ok := t.Read(s.db, id); ok {
+			if wts, observed := t.ObservedWriteTS(id); observed {
+				if !s.ctl.OnRead(t, id, wts) {
+					s.restart(st)
+					return
+				}
+			}
+		}
+		st.opIndex++
+		s.ready.Push(t)
+	case st.opIndex < len(st.spec.Reads)+len(st.spec.Writes): // a write
+		id := st.spec.Writes[st.opIndex-len(st.spec.Reads)]
+		t.StageWrite(id, s.genValue(id, st.n))
+		if !s.ctl.OnWrite(t, id) {
+			s.restart(st)
+			return
+		}
+		st.opIndex++
+		s.ready.Push(t)
+	case st.opIndex < ops: // a delete (provisioning churn)
+		id := st.spec.Deletes[st.opIndex-len(st.spec.Reads)-len(st.spec.Writes)]
+		t.StageDelete(id)
+		if !s.ctl.OnWrite(t, id) {
+			s.restart(st)
+			return
+		}
+		st.opIndex++
+		s.ready.Push(t)
+	case st.opIndex == ops: // validation
+		res := s.ctl.Validate(t)
+		if !res.OK {
+			s.restart(st)
+			return
+		}
+		st.opIndex++
+		s.startCommit(st)
+	default: // final commit processing step (ack received / send done)
+		s.commitDone(st)
+	}
+}
+
+func (s *Sim) genValue(id store.ObjectID, n int) []byte {
+	return s.gen.Value(id, n)
+}
+
+// startCommit routes the validated transaction down the mode's commit
+// path. Validation time is recorded to measure the LogWait step.
+func (s *Sim) startCommit(st *simTxn) {
+	t := st.t
+	validated := s.loop.Now()
+	records := len(st.spec.Writes) + len(st.spec.Deletes) + 1 // redo records + commit record
+	switch s.mode {
+	case core.LogNone, core.LogDiscard:
+		// No stable-storage wait at all.
+		s.observeCommitWait(s.loop.Now(), 0)
+		s.ctl.Finish(t)
+		s.complete(st)
+	case core.LogDisk:
+		// The Log Writer stores the records directly to the disk before
+		// the transaction may commit: one synchronous flush, FIFO
+		// through the single log device.
+		s.disk.enqueue(simtime.Duration(s.cost.DiskLatency), func() {
+			s.observeCommitWait(s.loop.Now(), s.loop.Now().Sub(validated))
+			s.ctl.Finish(t)
+			s.complete(st)
+		})
+	case core.LogShip:
+		// Send to the mirror (the send CPU was charged as this step);
+		// the mirror processes the records and acknowledges the commit
+		// record immediately; the ack returns and is processed on the
+		// primary CPU as a final step.
+		mirrorCost := simtime.Duration(records)*simtime.Duration(s.cost.MirrorPerRecord) + simtime.Duration(s.cost.MsgCPU)
+		s.loop.After(simtime.Duration(s.cost.NetLatency), func() {
+			s.mirrorCPU.enqueue(mirrorCost, func() {
+				s.mirrorReceived(records)
+				s.loop.After(simtime.Duration(s.cost.NetLatency), func() {
+					// Ack processing re-enters the EDF queue as the
+					// transaction's final step.
+					st.commitStarted = validated
+					s.ready.Push(t)
+					s.tryDispatch()
+				})
+			})
+		})
+	}
+}
+
+// commitDone completes a shipped transaction after its ack-processing
+// step.
+func (s *Sim) commitDone(st *simTxn) {
+	s.observeCommitWait(s.loop.Now(), s.loop.Now().Sub(st.commitStarted))
+	s.ctl.Finish(st.t)
+	s.complete(st)
+}
+
+// mirrorReceived accounts mirror-side buffering and async disk flushes:
+// the mirror batches everything buffered since the last flush into one
+// device write, off the commit path.
+func (s *Sim) mirrorReceived(records int) {
+	if !s.cfg.MirrorDisk {
+		return
+	}
+	s.mirrorBuffered += records
+	if s.mirrorBuffered > s.mirrorBacklog {
+		s.mirrorBacklog = s.mirrorBuffered
+	}
+	s.kickMirrorFlush()
+}
+
+// kickMirrorFlush arms the next asynchronous flush cycle if one is not
+// already pending.
+func (s *Sim) kickMirrorFlush() {
+	if s.flushing || s.mirrorBuffered == 0 {
+		return
+	}
+	s.flushing = true
+	s.loop.After(simtime.Duration(s.cost.MirrorFlushEvery), func() {
+		n := s.mirrorBuffered
+		s.mirrorDsk.enqueue(simtime.Duration(s.cost.DiskLatency), func() {
+			s.mirrorBuffered -= n
+			s.flushing = false
+			s.kickMirrorFlush()
+		})
+	})
+}
+
+// complete finishes a committed transaction.
+func (s *Sim) complete(st *simTxn) {
+	t := st.t
+	now := s.loop.Now()
+	s.resp.Observe(now.Sub(t.Arrival))
+	late := t.Class == txn.Soft && t.Expired(now)
+	if late {
+		s.outcome.CommitLate()
+		s.overload.RecordMiss(now)
+	} else {
+		s.outcome.Commit()
+	}
+	b := s.bucket(now)
+	b.Committed++
+	if late {
+		b.Missed++
+	}
+	s.release(st)
+}
+
+// bucket returns the timeline bucket for a virtual time, extending the
+// timeline as needed.
+func (s *Sim) bucket(now simtime.Time) *TimelineBucket {
+	sec := int(now / simtime.Time(time.Second))
+	for len(s.timeline) <= sec {
+		s.timeline = append(s.timeline, TimelineBucket{Second: len(s.timeline)})
+	}
+	return &s.timeline[sec]
+}
+
+// observeCommitWait records a commit wait globally and in the timeline
+// (incremental mean).
+func (s *Sim) observeCommitWait(now simtime.Time, d simtime.Duration) {
+	s.cwait.Observe(d)
+	b := s.bucket(now)
+	n := time.Duration(b.Committed + 1) // this commit lands right after
+	b.MeanCommitWait += (time.Duration(d) - b.MeanCommitWait) / n
+}
+
+// terminal finishes a transaction with an abort.
+func (s *Sim) terminal(st *simTxn, reason txn.AbortReason) {
+	st.t.Abort(reason)
+	s.outcome.Abort(reason)
+	if reason == txn.DeadlineMiss {
+		s.overload.RecordMiss(s.loop.Now())
+	}
+	s.bucket(s.loop.Now()).Missed++
+	s.release(st)
+}
+
+func (s *Sim) release(st *simTxn) {
+	delete(s.txns, st.t.ID)
+	s.overload.Done()
+	s.remaining--
+}
+
+// restart re-runs a conflicted transaction from scratch, if it still has
+// time and restarts left.
+func (s *Sim) restart(st *simTxn) {
+	t := st.t
+	s.ctl.Finish(t)
+	if t.Restarts >= s.cfg.MaxRestarts {
+		s.terminal(st, txn.Conflict)
+		return
+	}
+	if t.Class == txn.Firm && t.Expired(s.loop.Now()) {
+		s.terminal(st, txn.DeadlineMiss)
+		return
+	}
+	s.outcome.Restart()
+	t.ResetForRestart()
+	st.opIndex = 0
+	s.ctl.Begin(t)
+	s.ready.Push(t)
+}
+
+func (s *Sim) result() Result {
+	snap := s.outcome.Snapshot()
+	dur := simtime.Duration(s.loop.Now())
+	r := Result{
+		Outcome:        snap,
+		MissRatio:      snap.MissRatio(),
+		MeanResponse:   s.resp.Mean(),
+		MeanCommitWait: s.cwait.Mean(),
+		P95Response:    s.resp.Quantile(0.95),
+		CommitWaitP95:  s.cwait.Quantile(0.95),
+		CommitWaitP99:  s.cwait.Quantile(0.99),
+		CommitWaitMax:  s.cwait.Max(),
+		OCC:            s.ctl.Stats(),
+		Duration:       dur,
+		MirrorBacklog:  s.mirrorBacklog,
+		Timeline:       s.timeline,
+	}
+	if dur > 0 {
+		r.CPUBusy = float64(s.cpuUsed) / float64(dur)
+		r.DiskBusy = float64(s.disk.used) / float64(dur)
+		r.MirrorCPUBusy = float64(s.mirrorCPU.used) / float64(dur)
+	}
+	return r
+}
+
+// Run is a convenience wrapper: build and run one simulation.
+func Run(cfg Config) Result { return New(cfg).Run() }
+
+// RunRepeated runs the configuration with reps different seeds and
+// returns the per-rep results; the reported values of the paper are the
+// means of such repetitions. Repetitions are independent simulations and
+// run in parallel.
+func RunRepeated(cfg Config, reps int) []Result {
+	out := make([]Result, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < reps; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cfg
+			c.Workload.Seed = cfg.Workload.Seed + int64(i)*1000003
+			out[i] = Run(c)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MeanMissRatio averages the miss ratio over results.
+func MeanMissRatio(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.MissRatio
+	}
+	return sum / float64(len(rs))
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("miss=%.1f%% resp=%v cwait=%v cpu=%.0f%% disk=%.0f%%",
+		100*r.MissRatio, r.MeanResponse, r.MeanCommitWait, 100*r.CPUBusy, 100*r.DiskBusy)
+}

@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/occ"
+	"repro/internal/simtime"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func testWorkload(rate float64, writeFrac float64, count int, seed int64) workload.Config {
+	cfg := workload.Default()
+	cfg.ArrivalRate = rate
+	cfg.WriteFraction = writeFrac
+	cfg.Count = count
+	cfg.Seed = seed
+	cfg.DBSize = 5000 // smaller DB for test speed; conflicts stay rare
+	return cfg
+}
+
+func run(t *testing.T, mode core.LogMode, mirrorDisk bool, rate, writeFrac float64, count int) Result {
+	t.Helper()
+	return Run(Config{
+		Workload:   testWorkload(rate, writeFrac, count, 42),
+		LogMode:    mode,
+		MirrorDisk: mirrorDisk,
+	})
+}
+
+func TestLowLoadAllModesCommitEverything(t *testing.T) {
+	for _, mode := range []core.LogMode{core.LogNone, core.LogDiscard, core.LogDisk, core.LogShip} {
+		r := run(t, mode, mode == core.LogShip, 50, 0.05, 1000)
+		if r.MissRatio > 0.01 {
+			t.Fatalf("%v at 50 tps: miss ratio %.3f", mode, r.MissRatio)
+		}
+		if r.Outcome.Committed == 0 {
+			t.Fatalf("%v: nothing committed", mode)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, core.LogShip, true, 250, 0.2, 1500)
+	b := run(t, core.LogShip, true, 250, 0.2, 1500)
+	if a.MissRatio != b.MissRatio || a.MeanResponse != b.MeanResponse ||
+		a.Outcome.Committed != b.Outcome.Committed || a.Duration != b.Duration {
+		t.Fatalf("identical seeds diverged: %v vs %v", a, b)
+	}
+}
+
+func TestDiskCommitLatencyDominates(t *testing.T) {
+	disk := run(t, core.LogDisk, false, 50, 0.05, 800)
+	ship := run(t, core.LogShip, false, 50, 0.05, 800)
+	none := run(t, core.LogNone, false, 50, 0.05, 800)
+
+	if disk.MeanCommitWait < 8*time.Millisecond {
+		t.Fatalf("disk commit wait %v < disk latency", disk.MeanCommitWait)
+	}
+	if ship.MeanCommitWait >= disk.MeanCommitWait/2 {
+		t.Fatalf("shipping commit wait %v not clearly below disk %v",
+			ship.MeanCommitWait, disk.MeanCommitWait)
+	}
+	if ship.MeanCommitWait < 2*350*time.Microsecond {
+		t.Fatalf("shipping commit wait %v below one round trip", ship.MeanCommitWait)
+	}
+	if none.MeanCommitWait != 0 {
+		t.Fatalf("no-log commit wait %v", none.MeanCommitWait)
+	}
+}
+
+func TestSingleNodeDiskSaturatesFirst(t *testing.T) {
+	// The paper's Fig 2: with true log writes, the single node trashes
+	// on its disk long before the two-node system hits its CPU limit.
+	const rate = 200
+	single := run(t, core.LogDisk, false, rate, 0.05, 3000)
+	pair := run(t, core.LogShip, true, rate, 0.05, 3000)
+	if single.MissRatio < pair.MissRatio+0.2 {
+		t.Fatalf("at %d tps: single-node-disk miss %.3f vs two-node %.3f — disk bottleneck missing",
+			rate, single.MissRatio, pair.MissRatio)
+	}
+	if single.DiskBusy < 0.9 {
+		t.Fatalf("single-node disk utilization %.2f, want saturated", single.DiskBusy)
+	}
+}
+
+func TestSaturationKneeInPaperBand(t *testing.T) {
+	// The two-node system must saturate between 200 and 300 tps.
+	low := run(t, core.LogShip, true, 150, 0.2, 3000)
+	high := run(t, core.LogShip, true, 400, 0.2, 3000)
+	if low.MissRatio > 0.05 {
+		t.Fatalf("150 tps should be under the knee: miss %.3f", low.MissRatio)
+	}
+	if high.MissRatio < 0.25 {
+		t.Fatalf("400 tps should be far past the knee: miss %.3f", high.MissRatio)
+	}
+	if high.CPUBusy < 0.9 {
+		t.Fatalf("saturated CPU utilization %.2f", high.CPUBusy)
+	}
+}
+
+func TestNoLogsIsUpperBound(t *testing.T) {
+	// Fig 3 ordering at a saturating rate: No logs ≤ 1 node (disk off)
+	// ≤ 2 nodes (disk off), within tolerance.
+	const rate, count = 350, 3000
+	none := run(t, core.LogNone, false, rate, 0.2, count)
+	solo := run(t, core.LogDiscard, false, rate, 0.2, count)
+	pair := run(t, core.LogShip, false, rate, 0.2, count)
+	if none.MissRatio > solo.MissRatio+0.02 {
+		t.Fatalf("no-logs (%.3f) should not miss more than discard (%.3f)", none.MissRatio, solo.MissRatio)
+	}
+	if solo.MissRatio > pair.MissRatio+0.02 {
+		t.Fatalf("single-no-disk (%.3f) should not miss more than two-node (%.3f)", solo.MissRatio, pair.MissRatio)
+	}
+	// And the gaps are small: the log-handling overhead is modest.
+	if pair.MissRatio-none.MissRatio > 0.15 {
+		t.Fatalf("two-node overhead too large: %.3f vs %.3f", pair.MissRatio, none.MissRatio)
+	}
+}
+
+func TestWriteRatioEffectIsSmall(t *testing.T) {
+	// Paper: "The effect of the ratio of update transactions is
+	// relatively small" — both transaction types pay a commit record.
+	const rate, count = 300, 3000
+	lo := run(t, core.LogShip, true, rate, 0.0, count)
+	hi := run(t, core.LogShip, true, rate, 0.8, count)
+	if hi.MissRatio-lo.MissRatio > 0.25 {
+		t.Fatalf("write ratio changed miss too much: %.3f → %.3f", lo.MissRatio, hi.MissRatio)
+	}
+}
+
+func TestOverloadManagerDominatesPastSaturation(t *testing.T) {
+	r := run(t, core.LogShip, true, 450, 0.2, 3000)
+	denied := r.Outcome.ByReason[txn.OverloadDenied]
+	deadline := r.Outcome.ByReason[txn.DeadlineMiss]
+	if denied == 0 {
+		t.Fatalf("no overload denials past saturation: %+v", r.Outcome)
+	}
+	// "most of the unsuccessfully executed transactions are due to
+	// abortions by the overload manager", with occasional deadline
+	// misses.
+	if denied < deadline {
+		t.Fatalf("denied=%d < deadline=%d", denied, deadline)
+	}
+}
+
+func TestMirrorDiskBatchingKeepsUp(t *testing.T) {
+	r := run(t, core.LogShip, true, 250, 0.2, 3000)
+	if r.MirrorBacklog == 0 {
+		t.Fatal("mirror never buffered anything despite MirrorDisk")
+	}
+	// Batched async flushes must not build an unbounded backlog.
+	if r.MirrorBacklog > 3000 {
+		t.Fatalf("mirror backlog %d records — disk cannot keep up", r.MirrorBacklog)
+	}
+}
+
+// contendedWorkload mixes non-real-time transactions into a tiny, hot
+// database. Under pure firm-deadline EDF on one CPU, transactions run
+// nearly serially and conflicts are as rare as the paper observes; the
+// deadline-less transactions stretch across many real-time ones and
+// create genuine read/write overlap.
+func contendedWorkload(seed int64) workload.Config {
+	return workload.Config{
+		ArrivalRate: 250, WriteFraction: 0.6, DBSize: 30,
+		ReadsPerTxn: 4, WritesPerTxn: 2,
+		ReadDeadline: 50 * time.Millisecond, WriteDeadline: 150 * time.Millisecond,
+		ValueSize: 16, Count: 3000, Seed: seed, NonRTFraction: 0.3,
+	}
+}
+
+func TestConflictsOccurUnderNonRTMix(t *testing.T) {
+	r := Run(Config{Workload: contendedWorkload(7), LogMode: core.LogShip, NonRTReserve: 0.1})
+	if r.Outcome.Restarts == 0 {
+		t.Fatalf("no restarts under contention: %+v", r.Outcome)
+	}
+	if r.Outcome.ByReason[txn.Conflict] == 0 {
+		t.Fatalf("no terminal conflict aborts: %+v", r.Outcome)
+	}
+	if r.Outcome.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestProtocolAblation(t *testing.T) {
+	// The paper's claim for OCC-DATI — fewer unnecessary restarts —
+	// shows up as more commits and fewer wasted validations than
+	// classic backward validation under identical contended load.
+	dati := Run(Config{Workload: contendedWorkload(3), LogMode: core.LogNone, Protocol: occ.DATI, NonRTReserve: 0.1})
+	bc := Run(Config{Workload: contendedWorkload(3), LogMode: core.LogNone, Protocol: occ.BC, NonRTReserve: 0.1})
+	if dati.Outcome.Committed <= bc.Outcome.Committed {
+		t.Fatalf("DATI commits (%d) not above BC (%d)",
+			dati.Outcome.Committed, bc.Outcome.Committed)
+	}
+	if dati.MissRatio >= bc.MissRatio {
+		t.Fatalf("DATI miss (%.3f) not below BC (%.3f)", dati.MissRatio, bc.MissRatio)
+	}
+	if dati.OCC.Validations >= bc.OCC.Validations {
+		t.Fatalf("DATI wasted validations (%d) not below BC (%d)",
+			dati.OCC.Validations, bc.OCC.Validations)
+	}
+}
+
+func TestRunRepeatedVariesSeeds(t *testing.T) {
+	rs := RunRepeated(Config{
+		Workload: testWorkload(250, 0.2, 800, 1),
+		LogMode:  core.LogShip,
+	}, 3)
+	if len(rs) != 3 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	if rs[0].Outcome.Committed == rs[1].Outcome.Committed &&
+		rs[1].Outcome.Committed == rs[2].Outcome.Committed &&
+		rs[0].MeanResponse == rs[1].MeanResponse {
+		t.Fatal("repetitions look identical; seeds not varied")
+	}
+	m := MeanMissRatio(rs)
+	if m < 0 || m > 1 {
+		t.Fatalf("mean miss ratio %v", m)
+	}
+	if MeanMissRatio(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestNonRTTransactionsComplete(t *testing.T) {
+	wl := testWorkload(100, 0.1, 1000, 9)
+	wl.NonRTFraction = 0.2
+	r := Run(Config{Workload: wl, LogMode: core.LogShip, NonRTReserve: 0.1})
+	if r.MissRatio > 0.02 {
+		t.Fatalf("miss ratio %.3f with non-RT mix at low load", r.MissRatio)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := run(t, core.LogNone, false, 50, 0, 100)
+	if r.String() == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestSoftDeadlinesCommitLateInSim(t *testing.T) {
+	// Past saturation, soft transactions finish late (counted as missed
+	// but committed) instead of aborting.
+	wl := testWorkload(400, 0.2, 2000, 11)
+	wl.SoftFraction = 1.0 // every RT transaction is soft
+	r := Run(Config{Workload: wl, LogMode: core.LogShip, MirrorDisk: true})
+	if r.Outcome.LateCommits == 0 {
+		t.Fatalf("no late commits under pure-soft overload: %+v", r.Outcome)
+	}
+	if r.Outcome.ByReason[txn.DeadlineMiss] != 0 {
+		t.Fatalf("soft transactions were deadline-aborted: %+v", r.Outcome)
+	}
+	// Misses (denials + late) still counted.
+	if r.MissRatio == 0 {
+		t.Fatal("soft overload should still show misses")
+	}
+}
+
+func TestFailoverTimelineShowsTransition(t *testing.T) {
+	// 180 tps is comfortable for shipping but above the ~125 tps disk
+	// ceiling: after the mirror dies at t=5s, commit waits jump and
+	// misses appear.
+	wl := testWorkload(180, 0.2, 4000, 5)
+	r := Run(Config{
+		Workload:     wl,
+		LogMode:      core.LogShip,
+		MirrorDisk:   true,
+		FailMirrorAt: 5 * time.Second,
+	})
+	if len(r.Timeline) < 10 {
+		t.Fatalf("timeline too short: %d buckets", len(r.Timeline))
+	}
+	before := r.Timeline[3] // steady shipping
+	after := r.Timeline[8]  // steady transient
+	if before.MeanCommitWait >= 4*time.Millisecond {
+		t.Fatalf("shipping-phase commit wait %v too high", before.MeanCommitWait)
+	}
+	if after.MeanCommitWait < 8*time.Millisecond {
+		t.Fatalf("transient-phase commit wait %v below disk latency", after.MeanCommitWait)
+	}
+	var missedBefore, missedAfter uint64
+	for _, b := range r.Timeline {
+		if b.Second < 5 {
+			missedBefore += b.Missed
+		} else {
+			missedAfter += b.Missed
+		}
+	}
+	if missedAfter <= missedBefore {
+		t.Fatalf("no miss surge after failover: before=%d after=%d", missedBefore, missedAfter)
+	}
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	r := run(t, core.LogShip, true, 100, 0.1, 1000)
+	var committed, missed uint64
+	for _, b := range r.Timeline {
+		committed += b.Committed
+		missed += b.Missed
+	}
+	if committed != r.Outcome.Committed {
+		t.Fatalf("timeline commits %d != outcome %d", committed, r.Outcome.Committed)
+	}
+	if missed != r.Outcome.Missed {
+		t.Fatalf("timeline misses %d != outcome %d", missed, r.Outcome.Missed)
+	}
+}
+
+func TestTraceDrivenSim(t *testing.T) {
+	// A trace round-tripped through the off-line test-file format drives
+	// the simulator to the identical result as the generator.
+	cfg := testWorkload(200, 0.2, 1200, 21)
+	specs := workload.NewGenerator(cfg).All()
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, specs); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := Run(Config{Workload: cfg, LogMode: core.LogShip, MirrorDisk: true})
+	traced := Run(Config{Workload: cfg, Trace: replayed, LogMode: core.LogShip, MirrorDisk: true})
+	if direct.Outcome.Committed != traced.Outcome.Committed ||
+		direct.MissRatio != traced.MissRatio {
+		t.Fatalf("trace replay diverged: direct=%+v traced=%+v", direct.Outcome, traced.Outcome)
+	}
+}
+
+func TestChurnWorkloadInSim(t *testing.T) {
+	wl := testWorkload(150, 0.1, 2500, 31)
+	wl.ChurnFraction = 0.2
+	r := Run(Config{Workload: wl, LogMode: core.LogShip, MirrorDisk: true})
+	if r.MissRatio > 0.05 {
+		t.Fatalf("churn at low load missed %.3f", r.MissRatio)
+	}
+	if r.Outcome.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	// Churn must not change the saturation story: the knee stays put.
+	hot := Run(Config{Workload: func() workload.Config {
+		w := testWorkload(450, 0.1, 2500, 31)
+		w.ChurnFraction = 0.2
+		return w
+	}(), LogMode: core.LogShip, MirrorDisk: true})
+	if hot.MissRatio < 0.25 {
+		t.Fatalf("churn workload at 450 tps missed only %.3f", hot.MissRatio)
+	}
+}
+
+// TestOverloadLimitAdaptsToBurst drives the simulator with a trace whose
+// middle third compresses arrivals to 3x the sustainable rate: the
+// adaptive admission limit must shrink during the burst and recover
+// afterwards (observable through denials concentrated in the burst).
+func TestOverloadLimitAdaptsToBurst(t *testing.T) {
+	cfg := testWorkload(150, 0.1, 6000, 17)
+	specs := workload.NewGenerator(cfg).All()
+	// Compress the middle 2000 arrivals into a 600 tps burst.
+	burstStart := specs[2000].Arrival
+	for i := 2000; i < 4000; i++ {
+		specs[i].Arrival = burstStart + simtime.Time(i-2000)*simtime.Time(time.Second/600)
+	}
+	burstEnd := specs[3999].Arrival
+	// Shift the tail after the burst, keeping its 150 tps spacing.
+	shift := specs[4000].Arrival - burstEnd - simtime.Time(time.Second/150)
+	for i := 4000; i < len(specs); i++ {
+		specs[i].Arrival -= shift
+	}
+
+	r := Run(Config{Workload: cfg, Trace: specs, LogMode: core.LogShip, MirrorDisk: true})
+	if r.Outcome.ByReason[txn.OverloadDenied] == 0 {
+		t.Fatalf("burst produced no admission denials: %+v", r.Outcome)
+	}
+	// Denials concentrate inside the burst window; the pre-burst phase
+	// commits essentially everything.
+	var missBefore, missDuring uint64
+	for _, b := range r.Timeline {
+		sec := simtime.Time(b.Second) * simtime.Time(time.Second)
+		switch {
+		case sec < burstStart-simtime.Time(time.Second):
+			missBefore += b.Missed
+		case sec <= burstEnd+simtime.Time(time.Second):
+			missDuring += b.Missed
+		}
+	}
+	if missDuring == 0 {
+		t.Fatal("no misses during the burst")
+	}
+	if missBefore > missDuring/10 {
+		t.Fatalf("misses not concentrated in the burst: before=%d during=%d", missBefore, missDuring)
+	}
+	// The system recovers: the last seconds commit cleanly again.
+	tail := r.Timeline[len(r.Timeline)-2]
+	if tail.Committed == 0 {
+		t.Fatal("system never recovered after the burst")
+	}
+}

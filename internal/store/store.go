@@ -1,0 +1,244 @@
+// Package store implements the RODAIN main-memory object store: a flat
+// collection of data items addressed by object id, each carrying the
+// read/write timestamps that the optimistic concurrency-control protocols
+// maintain. Transactions never write the store directly during their read
+// phase — deferred writes live in the transaction's private workspace and
+// are applied here only in the write phase, after validation.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// ObjectID identifies a data item in the database.
+type ObjectID uint64
+
+// Record is one data item in export form, used for snapshots and state
+// transfer to a rejoining mirror.
+type Record struct {
+	ID      ObjectID
+	Value   []byte
+	WriteTS uint64
+}
+
+type item struct {
+	value   []byte
+	readTS  uint64 // largest commit timestamp of any validated reader
+	writeTS uint64 // commit timestamp of the last validated writer
+}
+
+// Store is a main-memory object store safe for concurrent use.
+// The zero value is not usable; call New.
+type Store struct {
+	mu      sync.RWMutex
+	items   map[ObjectID]*item
+	deleted map[ObjectID]uint64 // tombstone commit timestamps
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{items: make(map[ObjectID]*item), deleted: make(map[ObjectID]uint64)}
+}
+
+// Len reports the number of objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Get returns a copy of the object's value. It reports false if the
+// object does not exist.
+func (s *Store) Get(id ObjectID) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneBytes(it.value), true
+}
+
+// GetMeta returns a copy of the value together with the item's read and
+// write timestamps.
+func (s *Store) GetMeta(id ObjectID) (value []byte, readTS, writeTS uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[id]
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return cloneBytes(it.value), it.readTS, it.writeTS, true
+}
+
+// Timestamps returns the item's read and write timestamps without copying
+// the value.
+func (s *Store) Timestamps(id ObjectID) (readTS, writeTS uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return it.readTS, it.writeTS, true
+}
+
+// Put inserts or replaces an object outside of any transaction (bulk
+// load). Timestamps are reset to zero.
+func (s *Store) Put(id ObjectID, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[id] = &item{value: cloneBytes(value)}
+}
+
+// Apply installs a validated transactional write: the after image becomes
+// the current value and the item's write timestamp advances to commitTS.
+// Apply creates the object if it does not exist (an insert).
+func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deleted[id] > commitTS {
+		return // deleted by a newer transaction; do not resurrect
+	}
+	it, ok := s.items[id]
+	if !ok {
+		it = &item{}
+		s.items[id] = it
+	}
+	it.value = cloneBytes(value)
+	if commitTS > it.writeTS {
+		it.writeTS = commitTS
+	}
+}
+
+// ObserveRead records that a transaction with the given commit timestamp
+// read the object, advancing the item's read timestamp.
+func (s *Store) ObserveRead(id ObjectID, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it, ok := s.items[id]; ok && commitTS > it.readTS {
+		it.readTS = commitTS
+	}
+}
+
+// ApplyDelete installs a validated transactional deletion. Unlike
+// Delete, it remembers the deletion timestamp as a tombstone so that a
+// log replay applying groups out of timestamp order cannot resurrect the
+// object with an older write. Tombstones are retained until the next
+// LoadSnapshot — bounded in practice by the checkpoint cycle, which
+// replaces the store contents and clears them.
+func (s *Store) ApplyDelete(id ObjectID, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[id]
+	if ok && it.writeTS > commitTS {
+		return // a newer write already superseded this deletion
+	}
+	delete(s.items, id)
+	if commitTS > s.deleted[id] {
+		if s.deleted == nil {
+			s.deleted = make(map[ObjectID]uint64)
+		}
+		s.deleted[id] = commitTS
+	}
+}
+
+// DeletedAt reports the tombstone timestamp for id (zero if never
+// transactionally deleted).
+func (s *Store) DeletedAt(id ObjectID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deleted[id]
+}
+
+// Delete removes an object. It reports whether the object existed.
+func (s *Store) Delete(id ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[id]; !ok {
+		return false
+	}
+	delete(s.items, id)
+	return true
+}
+
+// IDs returns all object ids in ascending order.
+func (s *Store) IDs() []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ObjectID, 0, len(s.items))
+	for id := range s.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Snapshot returns a consistent copy of the whole database in ascending
+// id order, suitable for state transfer to a rejoining mirror node.
+func (s *Store) Snapshot() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recs := make([]Record, 0, len(s.items))
+	for id, it := range s.items {
+		recs = append(recs, Record{ID: id, Value: cloneBytes(it.value), WriteTS: it.writeTS})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// LoadSnapshot replaces the store contents with the given records.
+func (s *Store) LoadSnapshot(recs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[ObjectID]*item, len(recs))
+	s.deleted = make(map[ObjectID]uint64)
+	for _, r := range recs {
+		s.items[r.ID] = &item{value: cloneBytes(r.Value), writeTS: r.WriteTS}
+	}
+}
+
+// Checksum returns a CRC-32 over (id, value) pairs in ascending id order.
+// Two stores holding the same logical database produce the same checksum;
+// timestamps are deliberately excluded since a mirror rebuilt from logs
+// may carry different read timestamps.
+func (s *Store) Checksum() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ObjectID, 0, len(s.items))
+	for id := range s.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, id := range ids {
+		putUint64(buf[:], uint64(id))
+		h.Write(buf[:])
+		h.Write(s.items[id].value)
+		h.Write([]byte{0xff}) // separator so (1,"ab")+(2,"") != (1,"a")+(2,"b")
+	}
+	return h.Sum32()
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("store{%d objects}", s.Len())
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,95 @@
+package telecom
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/store"
+)
+
+// Subscriber is the declared class for subscriber profiles — the second
+// kind of data a number-translation service keeps besides routing
+// entries, expressed through the object layer instead of hand-packed
+// bytes.
+var Subscriber = object.MustClass("Subscriber",
+	object.Field{Name: "msisdn", Type: object.String},
+	object.Field{Name: "name", Type: object.String},
+	object.Field{Name: "balanceCents", Type: object.Int},
+	object.Field{Name: "prepaid", Type: object.Bool},
+	object.Field{Name: "creditLimitCents", Type: object.Int},
+)
+
+// SubscriberIDBase offsets subscriber objects away from routing entries
+// in the flat id space (routing entries live at the number's value).
+const SubscriberIDBase store.ObjectID = 1 << 40
+
+// SubscriberID maps a subscriber index to its object id.
+func SubscriberID(i int) store.ObjectID { return SubscriberIDBase + store.ObjectID(i) }
+
+// NewSubscriber builds a subscriber profile object.
+func NewSubscriber(msisdn, name string, prepaid bool, balanceCents int64) *object.Object {
+	o := Subscriber.New()
+	o.SetString("msisdn", msisdn)
+	o.SetString("name", name)
+	o.SetBool("prepaid", prepaid)
+	o.SetInt("balanceCents", balanceCents)
+	o.SetInt("creditLimitCents", 0)
+	return o
+}
+
+// Charge debits a call charge from a subscriber profile encoding and
+// returns the updated encoding — the read-modify-write body of a billing
+// transaction. Prepaid subscribers cannot go below zero; postpaid ones
+// may run to their credit limit (a negative balance).
+func Charge(encoded []byte, cents int64) ([]byte, error) {
+	if cents < 0 {
+		return nil, fmt.Errorf("telecom: negative charge %d", cents)
+	}
+	o, err := Subscriber.Decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	balance, _ := o.Int("balanceCents")
+	prepaid, _ := o.Bool("prepaid")
+	limit, _ := o.Int("creditLimitCents")
+	next := balance - cents
+	if prepaid && next < 0 {
+		return nil, fmt.Errorf("telecom: insufficient prepaid balance (%d < %d)", balance, cents)
+	}
+	if !prepaid && next < -limit {
+		return nil, fmt.Errorf("telecom: credit limit exceeded (%d - %d < -%d)", balance, cents, limit)
+	}
+	o.SetInt("balanceCents", next)
+	return o.Encode(), nil
+}
+
+// TopUp credits a subscriber profile encoding.
+func TopUp(encoded []byte, cents int64) ([]byte, error) {
+	if cents < 0 {
+		return nil, fmt.Errorf("telecom: negative top-up %d", cents)
+	}
+	o, err := Subscriber.Decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	balance, _ := o.Int("balanceCents")
+	o.SetInt("balanceCents", balance+cents)
+	return o.Encode(), nil
+}
+
+// PopulateSubscribers loads n subscriber profiles, ids
+// SubscriberID(0..n-1).
+func PopulateSubscribers(db *store.Store, n int) {
+	for i := 0; i < n; i++ {
+		o := NewSubscriber(
+			fmt.Sprintf("+35850%07d", i),
+			fmt.Sprintf("Subscriber %d", i),
+			i%2 == 0, // alternate prepaid/postpaid
+			100_00,   // 100 units of balance
+		)
+		if i%2 == 1 {
+			o.SetInt("creditLimitCents", 50_00)
+		}
+		db.Put(SubscriberID(i), o.Encode())
+	}
+}

@@ -1,0 +1,187 @@
+package telecom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := &Entry{Routed: "+358501234567", Weight: 42, Active: true, Version: 7}
+	got, err := Decode(Encode(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *e {
+		t.Fatalf("round trip: %+v vs %+v", got, e)
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(routed string, weight uint8, active bool, version uint32) bool {
+		e := &Entry{Routed: routed, Weight: weight, Active: active, Version: version}
+		got, err := Decode(Encode(e))
+		return err == nil && *got == *e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err != ErrBadEntry {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNumberToID(t *testing.T) {
+	id, err := NumberToID("0800123456")
+	if err != nil || id != 800123456 {
+		t.Fatalf("id = %d err = %v", id, err)
+	}
+	if _, err := NumberToID("080o1"); err == nil {
+		t.Fatal("non-digit accepted")
+	}
+	if _, err := NumberToID(""); err == nil {
+		t.Fatal("empty number accepted")
+	}
+}
+
+func TestIDToNumber(t *testing.T) {
+	if got := IDToNumber(42); got != "0800000042" {
+		t.Fatalf("IDToNumber = %q", got)
+	}
+}
+
+func TestPopulateAndTranslate(t *testing.T) {
+	db := store.New()
+	Populate(db, 100)
+	if db.Len() != 100 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	e, err := Translate(db.Get, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Routed != "+358500000007" || !e.Active || e.Version != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := Translate(db.Get, 1000); err == nil {
+		t.Fatal("unprovisioned number translated")
+	}
+}
+
+func TestTranslateInactive(t *testing.T) {
+	db := store.New()
+	db.Put(1, Encode(&Entry{Routed: "+3585", Active: false, Version: 1}))
+	if _, err := Translate(db.Get, 1); err == nil {
+		t.Fatal("out-of-service number translated")
+	}
+}
+
+func TestTranslateCorrupt(t *testing.T) {
+	db := store.New()
+	db.Put(1, []byte{1})
+	if _, err := Translate(db.Get, 1); err == nil {
+		t.Fatal("corrupt entry translated")
+	}
+}
+
+func TestReroute(t *testing.T) {
+	old := &Entry{Routed: "+111", Weight: 5, Active: true, Version: 3}
+	got := Reroute(old, "+222")
+	if got.Routed != "+222" || got.Version != 4 || got.Weight != 5 || !got.Active {
+		t.Fatalf("rerouted = %+v", got)
+	}
+}
+
+func TestSubscriberChargeAndTopUp(t *testing.T) {
+	o := NewSubscriber("+358501", "Alice", true, 1000)
+	enc := o.Encode()
+
+	charged, err := Charge(enc, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Subscriber.Decode(charged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balance, _ := back.Int("balanceCents")
+	if balance != 700 {
+		t.Fatalf("balance = %d", balance)
+	}
+
+	topped, err := TopUp(charged, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ = Subscriber.Decode(topped)
+	balance, _ = back.Int("balanceCents")
+	if balance != 1200 {
+		t.Fatalf("balance after top-up = %d", balance)
+	}
+}
+
+func TestPrepaidCannotOverdraw(t *testing.T) {
+	enc := NewSubscriber("+358501", "Alice", true, 100).Encode()
+	if _, err := Charge(enc, 101); err == nil {
+		t.Fatal("prepaid overdraw allowed")
+	}
+	if _, err := Charge(enc, 100); err != nil {
+		t.Fatalf("exact balance charge refused: %v", err)
+	}
+}
+
+func TestPostpaidCreditLimit(t *testing.T) {
+	o := NewSubscriber("+358501", "Bob", false, 100)
+	o.SetInt("creditLimitCents", 500)
+	enc := o.Encode()
+	if _, err := Charge(enc, 600); err != nil {
+		t.Fatalf("within-limit charge refused: %v", err)
+	}
+	if _, err := Charge(enc, 601); err == nil {
+		t.Fatal("beyond-limit charge allowed")
+	}
+}
+
+func TestChargeValidation(t *testing.T) {
+	enc := NewSubscriber("+1", "X", true, 100).Encode()
+	if _, err := Charge(enc, -1); err == nil {
+		t.Fatal("negative charge allowed")
+	}
+	if _, err := TopUp(enc, -1); err == nil {
+		t.Fatal("negative top-up allowed")
+	}
+	if _, err := Charge([]byte("junk"), 1); err == nil {
+		t.Fatal("junk profile charged")
+	}
+	if _, err := TopUp([]byte("junk"), 1); err == nil {
+		t.Fatal("junk profile topped up")
+	}
+}
+
+func TestPopulateSubscribers(t *testing.T) {
+	db := store.New()
+	PopulateSubscribers(db, 10)
+	if db.Len() != 10 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	enc, ok := db.Get(SubscriberID(3))
+	if !ok {
+		t.Fatal("subscriber 3 missing")
+	}
+	o, err := Subscriber.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepaid, _ := o.Bool("prepaid")
+	if prepaid { // 3 is odd → postpaid
+		t.Fatal("subscriber 3 should be postpaid")
+	}
+	limit, _ := o.Int("creditLimitCents")
+	if limit != 50_00 {
+		t.Fatalf("credit limit = %d", limit)
+	}
+}

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// rwc adapts a reader to the io.ReadWriteCloser the framing needs.
+type rwc struct {
+	io.Reader
+}
+
+func (rwc) Write(p []byte) (int, error) { return len(p), nil }
+func (rwc) Close() error                { return nil }
+
+// FuzzRecv feeds arbitrary bytes to the frame decoder: it must never
+// panic or allocate unboundedly, only produce messages or errors.
+func FuzzRecv(f *testing.F) {
+	// Seed with a valid frame.
+	var buf bytes.Buffer
+	pipeA, pipeB := Pipe()
+	go pipeA.Send(&Msg{Type: MsgRecord, Serial: 9, Payload: []byte("seed")})
+	if m, err := pipeB.Recv(); err == nil {
+		c := New(rwc{Reader: &buf})
+		_ = c
+		_ = m
+	}
+	pipeA.Close()
+	pipeB.Close()
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(rwc{Reader: bytes.NewReader(data)})
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package wal implements RODAIN's redo-only transaction log: record
+// encoding, the log writer, the mirror-side reordering buffer, single-pass
+// recovery, and database checkpoints.
+//
+// Log records serve two purposes in a RODAIN node (§3 of the paper):
+// they keep the database copy on the Mirror Node up to date, and they are
+// stored on secondary media like a traditional database log so that the
+// database survives even a simultaneous failure of both nodes.
+//
+// Records are generated in a transaction's write phase, after it has been
+// accepted for commit: one Write record per updated item (transaction id,
+// object id, after image) and one Commit record per transaction — also
+// for read-only transactions, which is why read-only and update commit
+// times stay close. There are no undo records: a transaction that entered
+// its write phase will commit unless the node fails, and the mirror
+// applies updates only when it has seen the commit record, so recovery
+// never undoes anything.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Type discriminates log record kinds.
+type Type uint8
+
+// Record kinds.
+const (
+	// TypeWrite carries one updated item's after image.
+	TypeWrite Type = iota + 1
+	// TypeCommit marks a transaction committed; its log records are
+	// complete. SerialOrder carries the true validation order.
+	TypeCommit
+	// TypeAbort tells the mirror to drop a transaction's buffered
+	// records (used when the primary restarts a validated-then-doomed
+	// transaction; rare, but keeps the stream self-contained).
+	TypeAbort
+	// TypeHeartbeat is an empty keep-alive record used by the shipping
+	// layer; it never reaches the database.
+	TypeHeartbeat
+	// TypeDelete removes one item (transaction id, object id).
+	TypeDelete
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeWrite:
+		return "write"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Record is one log record.
+type Record struct {
+	Type Type
+	// TxnID identifies the transaction on the node that executed it.
+	TxnID txn.ID
+	// SerialOrder is the true validation order, set on Commit records.
+	SerialOrder uint64
+	// CommitTS is the serialization timestamp, set on Commit records.
+	CommitTS uint64
+	// ObjectID and AfterImage are set on Write records.
+	ObjectID   store.ObjectID
+	AfterImage []byte
+}
+
+// ErrCorrupt reports a record whose checksum or framing is invalid.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// header layout: crc(4) len(4) type(1) txn(8) serial(8) ts(8) obj(8) = 41
+// bytes, followed by len bytes of after image. crc covers everything
+// after itself.
+const headerSize = 4 + 4 + 1 + 8 + 8 + 8 + 8
+
+// MaxImageSize bounds a single after image; larger records are rejected
+// as corrupt rather than causing huge allocations on a damaged log.
+const MaxImageSize = 1 << 26 // 64 MiB
+
+// EncodedSize reports the on-disk size of r.
+func EncodedSize(r *Record) int { return headerSize + len(r.AfterImage) }
+
+// AppendEncoded appends the encoded form of r to dst and returns the
+// extended slice.
+func AppendEncoded(dst []byte, r *Record) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, headerSize)...)
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(len(r.AfterImage)))
+	dst[off+8] = byte(r.Type)
+	binary.LittleEndian.PutUint64(dst[off+9:], uint64(r.TxnID))
+	binary.LittleEndian.PutUint64(dst[off+17:], r.SerialOrder)
+	binary.LittleEndian.PutUint64(dst[off+25:], r.CommitTS)
+	binary.LittleEndian.PutUint64(dst[off+33:], uint64(r.ObjectID))
+	dst = append(dst, r.AfterImage...)
+	crc := crc32.ChecksumIEEE(dst[off+4:])
+	binary.LittleEndian.PutUint32(dst[off:], crc)
+	return dst
+}
+
+// Encode writes r to w.
+func Encode(w io.Writer, r *Record) error {
+	_, err := w.Write(AppendEncoded(nil, r))
+	return err
+}
+
+// Decode reads one record from r. It returns io.EOF at a clean record
+// boundary, io.ErrUnexpectedEOF if the stream ends mid-record, and
+// ErrCorrupt on checksum or framing damage.
+func Decode(r io.Reader) (*Record, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	imgLen := binary.LittleEndian.Uint32(hdr[4:])
+	if imgLen > MaxImageSize {
+		return nil, ErrCorrupt
+	}
+	rec := &Record{
+		Type:        Type(hdr[8]),
+		TxnID:       txn.ID(binary.LittleEndian.Uint64(hdr[9:])),
+		SerialOrder: binary.LittleEndian.Uint64(hdr[17:]),
+		CommitTS:    binary.LittleEndian.Uint64(hdr[25:]),
+		ObjectID:    store.ObjectID(binary.LittleEndian.Uint64(hdr[33:])),
+	}
+	if imgLen > 0 {
+		rec.AfterImage = make([]byte, imgLen)
+		if _, err := io.ReadFull(r, rec.AfterImage); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[:4])
+	crc := crc32.ChecksumIEEE(hdr[4:])
+	crc = crc32.Update(crc, crc32.IEEETable, rec.AfterImage)
+	if crc != wantCRC {
+		return nil, ErrCorrupt
+	}
+	switch rec.Type {
+	case TypeWrite, TypeCommit, TypeAbort, TypeHeartbeat, TypeDelete:
+	default:
+		return nil, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// WriteRecordsFor builds the redo records for a validated transaction:
+// one Write record per staged after image, in first-write order.
+func WriteRecordsFor(t *txn.Transaction) []*Record {
+	ids := t.WriteIDs()
+	recs := make([]*Record, 0, len(ids))
+	for _, id := range ids {
+		if t.IsDelete(id) {
+			recs = append(recs, &Record{Type: TypeDelete, TxnID: t.ID, ObjectID: id})
+			continue
+		}
+		img, _ := t.WriteImage(id)
+		recs = append(recs, &Record{
+			Type:       TypeWrite,
+			TxnID:      t.ID,
+			ObjectID:   id,
+			AfterImage: img,
+		})
+	}
+	return recs
+}
+
+// CommitRecordFor builds the commit record for a validated transaction.
+func CommitRecordFor(t *txn.Transaction) *Record {
+	return &Record{
+		Type:        TypeCommit,
+		TxnID:       t.ID,
+		SerialOrder: t.SerialOrder,
+		CommitTS:    t.CommitTS,
+	}
+}
+
+func (r *Record) String() string {
+	switch r.Type {
+	case TypeWrite:
+		return fmt.Sprintf("write{txn=%d obj=%d len=%d}", r.TxnID, r.ObjectID, len(r.AfterImage))
+	case TypeCommit:
+		return fmt.Sprintf("commit{txn=%d serial=%d ts=%d}", r.TxnID, r.SerialOrder, r.CommitTS)
+	case TypeAbort:
+		return fmt.Sprintf("abort{txn=%d}", r.TxnID)
+	case TypeHeartbeat:
+		return "heartbeat{}"
+	case TypeDelete:
+		return fmt.Sprintf("delete{txn=%d obj=%d}", r.TxnID, r.ObjectID)
+	default:
+		return fmt.Sprintf("record{type=%d}", r.Type)
+	}
+}

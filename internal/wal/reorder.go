@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Group is one committed transaction's log records in apply order: all
+// Write records followed by the Commit record.
+type Group struct {
+	Writes []*Record
+	Commit *Record
+}
+
+// SerialOrder reports the group's true validation order.
+func (g *Group) SerialOrder() uint64 { return g.Commit.SerialOrder }
+
+// Reorderer is the mirror-side buffer that reorders incoming log records
+// into true validation order, grouped by transaction (§3: "The logs are
+// reordered based on transactions before the Mirror Node updates its
+// database copy and stores the logs on disk").
+//
+// Write records are buffered per transaction. When a transaction's
+// Commit record arrives the group is complete; complete groups are
+// released strictly in SerialOrder, so the mirror applies updates in the
+// exact validation order of the primary and the stored log can be
+// replayed in a single pass. An Abort record discards a transaction's
+// buffered writes.
+//
+// Reorderer is not safe for concurrent use; the mirror feeds it from a
+// single stream.
+type Reorderer struct {
+	pending    map[uint64][]*Record // txn id → buffered writes
+	ready      groupHeap
+	nextSerial uint64 // next SerialOrder to release
+	buffered   int    // count of buffered (unreleased) records
+}
+
+// NewReorderer returns an empty reordering buffer that releases groups
+// starting at the given serial order. Pass 0 for a fresh stream, which
+// starts at serial order 1; a mirror resuming after a checkpoint passes
+// the checkpoint's last serial plus one.
+func NewReorderer(startSerial uint64) *Reorderer {
+	if startSerial == 0 {
+		startSerial = 1
+	}
+	return &Reorderer{
+		pending:    make(map[uint64][]*Record),
+		nextSerial: startSerial,
+	}
+}
+
+type groupHeap []*Group
+
+func (h groupHeap) Len() int           { return len(h) }
+func (h groupHeap) Less(i, j int) bool { return h[i].SerialOrder() < h[j].SerialOrder() }
+func (h groupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x any)        { *h = append(*h, x.(*Group)) }
+func (h *groupHeap) Pop() any          { old := *h; n := len(old); g := old[n-1]; *h = old[:n-1]; return g }
+func (h groupHeap) peekSerial() uint64 { return h[0].SerialOrder() }
+
+// Add feeds one record into the buffer and returns the groups that
+// became releasable, in validation order. Heartbeats are ignored.
+func (r *Reorderer) Add(rec *Record) ([]*Group, error) {
+	switch rec.Type {
+	case TypeHeartbeat:
+		return nil, nil
+	case TypeWrite, TypeDelete:
+		r.pending[uint64(rec.TxnID)] = append(r.pending[uint64(rec.TxnID)], rec)
+		r.buffered++
+		return nil, nil
+	case TypeAbort:
+		r.buffered -= len(r.pending[uint64(rec.TxnID)])
+		delete(r.pending, uint64(rec.TxnID))
+		return nil, nil
+	case TypeCommit:
+		g := &Group{Writes: r.pending[uint64(rec.TxnID)], Commit: rec}
+		delete(r.pending, uint64(rec.TxnID))
+		r.buffered++
+		heap.Push(&r.ready, g)
+		var out []*Group
+		for len(r.ready) > 0 && r.ready.peekSerial() == r.nextSerial {
+			g := heap.Pop(&r.ready).(*Group)
+			r.buffered -= len(g.Writes) + 1
+			r.nextSerial++
+			out = append(out, g)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wal: reorderer: %w: unknown type %d", ErrCorrupt, rec.Type)
+	}
+}
+
+// Buffered reports how many records are held back waiting for commit
+// records or earlier serial orders.
+func (r *Reorderer) Buffered() int { return r.buffered }
+
+// PendingTxns reports how many transactions have buffered writes but no
+// commit record yet. On primary failure these are the transactions that
+// are considered aborted.
+func (r *Reorderer) PendingTxns() int { return len(r.pending) }
+
+// DiscardPending drops every buffered, uncommitted transaction — the
+// mirror does this on takeover: transactions without a commit record are
+// considered aborted and their updates are never applied.
+func (r *Reorderer) DiscardPending() int {
+	n := len(r.pending)
+	for id, recs := range r.pending {
+		r.buffered -= len(recs)
+		delete(r.pending, id)
+	}
+	return n
+}
+
+// Flatten returns the group's records in stored-log order: writes first,
+// then the commit record.
+func (g *Group) Flatten() []*Record {
+	out := make([]*Record, 0, len(g.Writes)+1)
+	out = append(out, g.Writes...)
+	return append(out, g.Commit)
+}

@@ -1,0 +1,488 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{Type: TypeWrite, TxnID: 7, ObjectID: 42, AfterImage: []byte("after")},
+		{Type: TypeWrite, TxnID: 7, ObjectID: 43, AfterImage: nil},
+		{Type: TypeCommit, TxnID: 7, SerialOrder: 3, CommitTS: 65536},
+		{Type: TypeAbort, TxnID: 9},
+		{Type: TypeHeartbeat},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := Encode(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range recs {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.TxnID != want.TxnID ||
+			got.SerialOrder != want.SerialOrder || got.CommitTS != want.CommitTS ||
+			got.ObjectID != want.ObjectID || !bytes.Equal(got.AfterImage, want.AfterImage) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := Decode(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(txnID uint32, serial, ts uint64, obj uint32, img []byte) bool {
+		want := &Record{Type: TypeWrite, TxnID: txn.ID(txnID), SerialOrder: serial,
+			CommitTS: ts, ObjectID: store.ObjectID(obj), AfterImage: img}
+		var buf bytes.Buffer
+		if err := Encode(&buf, want); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return got.TxnID == want.TxnID && got.SerialOrder == want.SerialOrder &&
+			got.CommitTS == want.CommitTS && got.ObjectID == want.ObjectID &&
+			bytes.Equal(got.AfterImage, want.AfterImage)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	rec := &Record{Type: TypeWrite, TxnID: 1, ObjectID: 2, AfterImage: []byte("payload")}
+	enc := AppendEncoded(nil, rec)
+	// Flip one byte anywhere after the CRC field: must be detected.
+	for pos := 4; pos < len(enc); pos++ {
+		damaged := append([]byte(nil), enc...)
+		damaged[pos] ^= 0xff
+		_, err := Decode(bytes.NewReader(damaged))
+		if err == nil {
+			t.Fatalf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	rec := &Record{Type: TypeWrite, TxnID: 1, ObjectID: 2, AfterImage: []byte("payload")}
+	enc := AppendEncoded(nil, rec)
+	for cut := 1; cut < len(enc); cut++ {
+		_, err := Decode(bytes.NewReader(enc[:cut]))
+		if err != io.ErrUnexpectedEOF && err != ErrCorrupt {
+			t.Fatalf("cut at %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeImage(t *testing.T) {
+	rec := &Record{Type: TypeWrite, TxnID: 1, AfterImage: []byte("x")}
+	enc := AppendEncoded(nil, rec)
+	// Forge an enormous length field.
+	enc[4], enc[5], enc[6], enc[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Decode(bytes.NewReader(enc)); err != ErrCorrupt {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordsForTransaction(t *testing.T) {
+	tx := txn.New(5, txn.Firm, 0, txn.NoDeadline)
+	tx.StageWrite(10, []byte("a"))
+	tx.StageWrite(11, []byte("b"))
+	tx.CommitTS = 99
+	tx.SerialOrder = 4
+	writes := WriteRecordsFor(tx)
+	if len(writes) != 2 || writes[0].ObjectID != 10 || writes[1].ObjectID != 11 {
+		t.Fatalf("writes = %v", writes)
+	}
+	c := CommitRecordFor(tx)
+	if c.Type != TypeCommit || c.SerialOrder != 4 || c.CommitTS != 99 || c.TxnID != 5 {
+		t.Fatalf("commit = %+v", c)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	r := &Record{Type: TypeWrite, AfterImage: make([]byte, 100)}
+	if EncodedSize(r) != headerSize+100 {
+		t.Fatalf("EncodedSize = %d", EncodedSize(r))
+	}
+	if len(AppendEncoded(nil, r)) != EncodedSize(r) {
+		t.Fatal("AppendEncoded length disagrees with EncodedSize")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, r := range []*Record{
+		{Type: TypeWrite}, {Type: TypeCommit}, {Type: TypeAbort},
+		{Type: TypeHeartbeat}, {Type: Type(9)},
+	} {
+		if r.String() == "" {
+			t.Fatal("empty record string")
+		}
+	}
+	for _, ty := range []Type{TypeWrite, TypeCommit, TypeAbort, TypeHeartbeat, Type(9)} {
+		if ty.String() == "" {
+			t.Fatal("empty type string")
+		}
+	}
+}
+
+// --- Reorderer ---------------------------------------------------------------
+
+func commitRec(id txn.ID, serial uint64) *Record {
+	return &Record{Type: TypeCommit, TxnID: id, SerialOrder: serial, CommitTS: serial * 100}
+}
+
+func writeRec(id txn.ID, obj store.ObjectID) *Record {
+	return &Record{Type: TypeWrite, TxnID: id, ObjectID: obj, AfterImage: []byte{byte(id)}}
+}
+
+func TestReordererGroupsByTransaction(t *testing.T) {
+	r := NewReorderer(0)
+	addEmpty(t, r, writeRec(1, 10))
+	addEmpty(t, r, writeRec(2, 20))
+	addEmpty(t, r, writeRec(1, 11))
+	groups, err := r.Add(commitRec(1, 1))
+	if err != nil || len(groups) != 1 {
+		t.Fatalf("groups = %v err = %v", groups, err)
+	}
+	g := groups[0]
+	if len(g.Writes) != 2 || g.Writes[0].ObjectID != 10 || g.Writes[1].ObjectID != 11 {
+		t.Fatalf("group writes = %v", g.Writes)
+	}
+	if g.SerialOrder() != 1 {
+		t.Fatalf("serial = %d", g.SerialOrder())
+	}
+	if r.PendingTxns() != 1 { // txn 2 still open
+		t.Fatalf("PendingTxns = %d", r.PendingTxns())
+	}
+}
+
+func TestReordererReleasesInSerialOrder(t *testing.T) {
+	r := NewReorderer(0)
+	// Commit records arrive out of validation order: 2 before 1.
+	addEmpty(t, r, writeRec(2, 20))
+	groups, err := r.Add(commitRec(2, 2))
+	if err != nil || len(groups) != 0 {
+		t.Fatalf("serial 2 must be held until serial 1 arrives: %v", groups)
+	}
+	addEmpty(t, r, writeRec(1, 10))
+	groups, err = r.Add(commitRec(1, 1))
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("groups = %v err = %v", groups, err)
+	}
+	if groups[0].SerialOrder() != 1 || groups[1].SerialOrder() != 2 {
+		t.Fatalf("release order = %d, %d", groups[0].SerialOrder(), groups[1].SerialOrder())
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered = %d", r.Buffered())
+	}
+}
+
+func TestReordererAbortDropsWrites(t *testing.T) {
+	r := NewReorderer(0)
+	addEmpty(t, r, writeRec(1, 10))
+	addEmpty(t, r, &Record{Type: TypeAbort, TxnID: 1})
+	if r.PendingTxns() != 0 || r.Buffered() != 0 {
+		t.Fatalf("abort did not clear: pending=%d buffered=%d", r.PendingTxns(), r.Buffered())
+	}
+}
+
+func TestReordererHeartbeatIgnored(t *testing.T) {
+	r := NewReorderer(0)
+	groups, err := r.Add(&Record{Type: TypeHeartbeat})
+	if err != nil || groups != nil {
+		t.Fatalf("heartbeat: %v %v", groups, err)
+	}
+}
+
+func TestReordererUnknownType(t *testing.T) {
+	r := NewReorderer(0)
+	if _, err := r.Add(&Record{Type: Type(99)}); err == nil {
+		t.Fatal("unknown record type accepted")
+	}
+}
+
+func TestReordererDiscardPending(t *testing.T) {
+	r := NewReorderer(0)
+	addEmpty(t, r, writeRec(1, 10))
+	addEmpty(t, r, writeRec(2, 20))
+	if n := r.DiscardPending(); n != 2 {
+		t.Fatalf("DiscardPending = %d", n)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered = %d", r.Buffered())
+	}
+}
+
+func TestReordererStartSerial(t *testing.T) {
+	r := NewReorderer(5)
+	groups, _ := r.Add(commitRec(1, 6))
+	if len(groups) != 0 {
+		t.Fatal("serial 6 released before serial 5")
+	}
+	groups, _ = r.Add(commitRec(2, 5))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+// Property: feeding groups in any interleaving releases them in exactly
+// serial order 1..n with the right writes attached.
+func TestPropertyReordererTotalOrder(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int(n%20) + 1
+		// Build per-transaction record lists.
+		type src struct {
+			recs []*Record
+		}
+		srcs := make([]*src, total)
+		for i := 0; i < total; i++ {
+			s := &src{}
+			id := txn.ID(i + 1)
+			for w := 0; w < rng.Intn(4); w++ {
+				s.recs = append(s.recs, writeRec(id, store.ObjectID(w)))
+			}
+			s.recs = append(s.recs, commitRec(id, uint64(i+1)))
+			srcs[i] = s
+		}
+		// Interleave: repeatedly pick a source with records left; its
+		// writes stay in order and commit comes last (FIFO per txn).
+		r := NewReorderer(0)
+		var released []*Group
+		remaining := total
+		for remaining > 0 {
+			i := rng.Intn(total)
+			if len(srcs[i].recs) == 0 {
+				continue
+			}
+			rec := srcs[i].recs[0]
+			srcs[i].recs = srcs[i].recs[1:]
+			if len(srcs[i].recs) == 0 {
+				remaining--
+			}
+			gs, err := r.Add(rec)
+			if err != nil {
+				return false
+			}
+			released = append(released, gs...)
+		}
+		if len(released) != total {
+			return false
+		}
+		for i, g := range released {
+			if g.SerialOrder() != uint64(i+1) {
+				return false
+			}
+		}
+		return r.Buffered() == 0 && r.PendingTxns() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addEmpty(t *testing.T, r *Reorderer, rec *Record) {
+	t.Helper()
+	groups, err := r.Add(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("unexpected release: %v", groups)
+	}
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+func encodeAll(t *testing.T, recs []*Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := Encode(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestRecoverAppliesCommittedOnly(t *testing.T) {
+	log := encodeAll(t, []*Record{
+		writeRec(1, 10),
+		commitRec(1, 1),
+		writeRec(2, 20), // no commit record: txn 2 aborted by failure
+		{Type: TypeWrite, TxnID: 3, ObjectID: 30, AfterImage: []byte("three")},
+		commitRec(3, 2),
+	})
+	db := store.New()
+	st, err := Recover(bytes.NewReader(log), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 2 || st.WritesApplied != 2 || st.Discarded != 1 || st.Truncated {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LastSerial != 2 {
+		t.Fatalf("LastSerial = %d", st.LastSerial)
+	}
+	if _, ok := db.Get(20); ok {
+		t.Fatal("uncommitted write applied")
+	}
+	v, ok := db.Get(30)
+	if !ok || string(v) != "three" {
+		t.Fatalf("committed write missing: %q %v", v, ok)
+	}
+}
+
+func TestRecoverTruncatedTail(t *testing.T) {
+	log := encodeAll(t, []*Record{
+		writeRec(1, 10),
+		commitRec(1, 1),
+		writeRec(2, 20),
+	})
+	log = log[:len(log)-3] // crash mid-record
+	db := store.New()
+	st, err := Recover(bytes.NewReader(log), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.Applied != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecoverCorruptTailStopsCleanly(t *testing.T) {
+	log := encodeAll(t, []*Record{writeRec(1, 10), commitRec(1, 1), writeRec(2, 20), commitRec(2, 2)})
+	// Damage the third record's checksum region.
+	third := encodeAll(t, []*Record{writeRec(1, 10), commitRec(1, 1)})
+	log[len(third)+10] ^= 0xff
+	db := store.New()
+	st, err := Recover(bytes.NewReader(log), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.Applied != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecoverRespectsAbortRecords(t *testing.T) {
+	log := encodeAll(t, []*Record{
+		writeRec(1, 10),
+		{Type: TypeAbort, TxnID: 1},
+		commitRec(1, 1), // commit after abort applies nothing (writes dropped)
+	})
+	db := store.New()
+	st, err := Recover(bytes.NewReader(log), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WritesApplied != 0 {
+		t.Fatalf("aborted writes applied: %+v", st)
+	}
+}
+
+// Property: recovery of a log equals direct application of committed
+// groups, for any mix of committed and uncommitted transactions.
+func TestPropertyRecoveryMatchesDirectApply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		direct := store.New()
+		var recs []*Record
+		serial := uint64(0)
+		for i := 0; i < 30; i++ {
+			id := txn.ID(i + 1)
+			nw := rng.Intn(4)
+			var writes []*Record
+			for w := 0; w < nw; w++ {
+				writes = append(writes, &Record{
+					Type: TypeWrite, TxnID: id,
+					ObjectID:   store.ObjectID(rng.Intn(10)),
+					AfterImage: []byte{byte(rng.Intn(256))},
+				})
+			}
+			recs = append(recs, writes...)
+			if rng.Intn(100) < 70 { // 70% commit
+				serial++
+				ts := serial * 7
+				recs = append(recs, &Record{Type: TypeCommit, TxnID: id, SerialOrder: serial, CommitTS: ts})
+				for _, w := range writes {
+					direct.Apply(w.ObjectID, w.AfterImage, ts)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		for _, r := range recs {
+			if Encode(&buf, r) != nil {
+				return false
+			}
+		}
+		recovered := store.New()
+		if _, err := Recover(&buf, recovered); err != nil {
+			return false
+		}
+		return recovered.Checksum() == direct.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Checkpoint ----------------------------------------------------------------
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	db := store.New()
+	for i := 0; i < 50; i++ {
+		db.Put(store.ObjectID(i), []byte{byte(i), byte(i + 1)})
+	}
+	db.Apply(7, []byte("updated"), 123)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, db.Snapshot(), 42); err != nil {
+		t.Fatal(err)
+	}
+	snap, serial, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 42 {
+		t.Fatalf("serial = %d", serial)
+	}
+	db2 := store.New()
+	db2.LoadSnapshot(snap)
+	if db2.Checksum() != db.Checksum() {
+		t.Fatal("checkpoint round trip changed the database")
+	}
+	_, wts, _ := db2.Timestamps(7)
+	if wts != 123 {
+		t.Fatalf("write timestamp lost: %d", wts)
+	}
+}
+
+func TestCheckpointIncomplete(t *testing.T) {
+	db := store.New()
+	db.Put(1, []byte("v"))
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, db.Snapshot(), 9); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadCheckpoint(bytes.NewReader(cut)); err != ErrIncompleteCheckpoint {
+		t.Fatalf("err = %v, want ErrIncompleteCheckpoint", err)
+	}
+	if _, _, err := ReadCheckpoint(bytes.NewReader(nil)); err != ErrIncompleteCheckpoint {
+		t.Fatalf("empty: err = %v", err)
+	}
+}

@@ -1,0 +1,391 @@
+// Package rodain is a real-time main-memory database whose availability
+// comes from a hot stand-by mirror node kept up to date with transaction
+// logs shipped synchronously at commit — a reproduction of the RODAIN
+// architecture (Niklander & Raatikainen, "Using Logs to Increase
+// Availability in Real-Time Main-Memory Database", IPPS/SPDP 2000).
+//
+// # Embedded use
+//
+//	db, err := rodain.Open(rodain.Options{})
+//	defer db.Close()
+//	err = db.Update(50*time.Millisecond, func(tx *rodain.Tx) error {
+//	    v, err := tx.Read(42)
+//	    if err != nil {
+//	        return err
+//	    }
+//	    return tx.Write(42, append(v, '!'))
+//	})
+//
+// Transactions carry firm deadlines: past the deadline they are aborted
+// (ErrDeadline), never late. Writes are deferred — an abort simply
+// discards the private workspace.
+//
+// # A replicated pair
+//
+//	primary, _ := rodain.OpenPrimary(opts, "10.0.0.1:7000")
+//	mirror, _  := rodain.OpenMirror(opts, "10.0.0.1:7000", "10.0.0.2:7000")
+//
+// The primary commits each transaction once the mirror acknowledges its
+// log records: one message round trip instead of a disk write on the
+// commit path. If the primary fails, the mirror takes over almost
+// instantly (watch Events for Takeover) and logs to its own disk until
+// the failed node rejoins — always as mirror.
+package rodain
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/metrics"
+	"repro/internal/occ"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Re-exported fundamental types.
+type (
+	// ObjectID addresses one data item.
+	ObjectID = store.ObjectID
+	// Tx is the transactional operation surface passed to Update/View
+	// bodies.
+	Tx = core.Tx
+	// Class is a transaction criticality class.
+	Class = txn.Class
+	// Event is a node role-change notification.
+	Event = core.Event
+	// EventKind classifies Events.
+	EventKind = core.EventKind
+)
+
+// Criticality classes.
+const (
+	// Firm transactions abort when their deadline expires.
+	Firm = txn.Firm
+	// Soft transactions finish late but count as missed.
+	Soft = txn.Soft
+	// NonRealTime transactions have no deadline and run in a reserved
+	// dispatch share.
+	NonRealTime = txn.NonRealTime
+)
+
+// Role-change event kinds.
+const (
+	EventMirrorAttached = core.EventMirrorAttached
+	EventMirrorLost     = core.EventMirrorLost
+	EventTakeover       = core.EventTakeover
+)
+
+// Errors surfaced by transactions.
+var (
+	// ErrDeadline: the firm deadline expired before commit.
+	ErrDeadline = core.ErrDeadline
+	// ErrConflict: concurrency control gave up after restarts.
+	ErrConflict = core.ErrConflict
+	// ErrOverload: the overload manager denied admission.
+	ErrOverload = core.ErrOverload
+	// ErrNotServing: this node is a mirror; transactions execute only
+	// on the primary.
+	ErrNotServing = core.ErrNotServing
+	// ErrClosed: the database is closed.
+	ErrClosed = core.ErrStopped
+)
+
+// Durability selects what happens on the commit path of a node running
+// without a mirror.
+type Durability int
+
+// Durability levels for single-node operation. A node with an attached
+// mirror always ships logs; these control the fallback.
+const (
+	// DurDisk stores log records on the local log device before commit
+	// (the paper's transient mode).
+	DurDisk Durability = iota
+	// DurRelaxed builds log records but does not wait for the device —
+	// the paper's "disk writing turned off" configuration.
+	DurRelaxed
+	// DurNone writes no logs at all (volatile, fastest).
+	DurNone
+)
+
+func (d Durability) logMode() core.LogMode {
+	switch d {
+	case DurRelaxed:
+		return core.LogDiscard
+	case DurNone:
+		return core.LogNone
+	default:
+		return core.LogDisk
+	}
+}
+
+// Options configures a database node.
+type Options struct {
+	// Name labels the node in events and errors.
+	Name string
+	// LogPath is the log file. Empty keeps the log in memory (useful
+	// for tests and for DurNone/DurRelaxed nodes).
+	LogPath string
+	// Durability is the single-node commit path (see Durability).
+	Durability Durability
+	// Protocol selects concurrency control: "dati" (default), "ti",
+	// "da" or "bc".
+	Protocol string
+	// Workers is the number of executor goroutines (default 1).
+	Workers int
+	// MaxActive caps concurrently admitted transactions (default 50).
+	MaxActive int
+	// MaxRestarts bounds concurrency-control restarts per transaction.
+	MaxRestarts int
+	// NonRTReserve is the dispatch fraction reserved for non-real-time
+	// transactions (default 0.05).
+	NonRTReserve float64
+	// GroupCommitWindow batches disk commits when > 0.
+	GroupCommitWindow time.Duration
+	// SimulatedDiskLatency, when > 0, adds this latency to every log
+	// sync — a stand-in for the slow log disk of the paper's era on
+	// machines whose real storage is too fast to show the effect.
+	SimulatedDiskLatency time.Duration
+	// AckTimeout bounds the wait for a mirror acknowledgment.
+	AckTimeout time.Duration
+	// HeartbeatEvery and HeartbeatMisses tune failure detection.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+}
+
+func (o Options) coreConfig() (core.Config, error) {
+	cfg := core.Config{
+		Workers:           o.Workers,
+		MaxRestarts:       o.MaxRestarts,
+		NonRTReserve:      o.NonRTReserve,
+		GroupCommitWindow: o.GroupCommitWindow,
+		AckTimeout:        o.AckTimeout,
+		HeartbeatEvery:    o.HeartbeatEvery,
+		HeartbeatMisses:   o.HeartbeatMisses,
+	}
+	if o.MaxActive > 0 {
+		cfg.Overload = sched.OverloadConfig{MaxActive: o.MaxActive}
+	}
+	if o.Protocol != "" {
+		k, err := occ.ParseKind(o.Protocol)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Protocol = k
+	}
+	return cfg, nil
+}
+
+func (o Options) openLog() (logstore.Store, error) {
+	var st logstore.Store
+	if o.LogPath == "" {
+		st = logstore.NewMem()
+	} else {
+		f, err := logstore.OpenFile(o.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		st = f
+	}
+	if o.SimulatedDiskLatency > 0 {
+		st = logstore.NewDelayed(st, o.SimulatedDiskLatency)
+	}
+	return st, nil
+}
+
+// DB is one RODAIN node. Depending on how it was opened it is an
+// embedded single node, the primary of a pair, or a mirror (which serves
+// transactions only after a takeover).
+type DB struct {
+	node *core.Node
+	log  logstore.Store
+}
+
+// Open starts an embedded single-node database.
+func Open(opts Options) (*DB, error) {
+	db, _, err := open(opts, "", false)
+	return db, err
+}
+
+// OpenPrimary starts a database-server node that accepts a mirror on
+// replListen. Until a mirror attaches it runs in transient mode,
+// committing per opts.Durability.
+func OpenPrimary(opts Options, replListen string) (*DB, error) {
+	if replListen == "" {
+		return nil, errors.New("rodain: OpenPrimary needs a replication listen address")
+	}
+	db, _, err := open(opts, replListen, false)
+	return db, err
+}
+
+func open(opts Options, replListen string, mirror bool) (*DB, *core.Node, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := opts.openLog()
+	if err != nil {
+		return nil, nil, err
+	}
+	name := opts.Name
+	if name == "" {
+		name = "rodain"
+	}
+	node := core.NewNode(name, cfg, store.New(), log)
+	if !mirror {
+		if err := node.ServePrimary(replListen, opts.Durability.logMode()); err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+	}
+	return &DB{node: node, log: log}, node, nil
+}
+
+// OpenMirror starts a hot stand-by for the primary at primaryAddr. The
+// returned DB rejects transactions (ErrNotServing) until the primary
+// fails, at which point this node takes over, listens for a rejoining
+// mirror on takeoverListen, and begins serving. Watch Events for
+// EventTakeover.
+func OpenMirror(opts Options, primaryAddr, takeoverListen string) (*DB, error) {
+	db, node, err := open(opts, "", true)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// RunMirror blocks for the node's mirror lifetime and handles
+		// takeover itself; errors after close are benign.
+		_ = node.RunMirror(primaryAddr, takeoverListen)
+	}()
+	return db, nil
+}
+
+// Load bulk-inserts an object outside any transaction (initial
+// population; not logged, not replicated — do it before attaching a
+// mirror or run it as a transaction instead).
+func (db *DB) Load(id ObjectID, value []byte) { db.node.DB().Put(id, value) }
+
+// Get reads the latest committed value outside any transaction.
+func (db *DB) Get(id ObjectID) ([]byte, bool) { return db.node.DB().Get(id) }
+
+// Len reports the number of objects.
+func (db *DB) Len() int { return db.node.DB().Len() }
+
+// Update runs fn as a firm-deadline read-write transaction. fn may be
+// retried on concurrency-control restarts; it must be a pure function of
+// its Tx reads.
+func (db *DB) Update(deadline time.Duration, fn func(*Tx) error) error {
+	return db.node.Execute(core.Request{Class: txn.Firm, Deadline: deadline, Do: fn})
+}
+
+// View runs fn as a firm-deadline transaction, by convention read-only
+// (writes are not prevented, but the name documents intent).
+func (db *DB) View(deadline time.Duration, fn func(*Tx) error) error {
+	return db.node.Execute(core.Request{Class: txn.Firm, Deadline: deadline, Do: fn})
+}
+
+// Exec runs a transaction with full control over class, deadline and
+// criticality.
+func (db *DB) Exec(class Class, deadline time.Duration, criticality int, fn func(*Tx) error) error {
+	return db.node.Execute(core.Request{Class: class, Deadline: deadline, Criticality: criticality, Do: fn})
+}
+
+// Events delivers role-change notifications (mirror attached/lost,
+// takeover).
+func (db *DB) Events() <-chan Event { return db.node.Events() }
+
+// ReplAddr reports the node's replication listener address, "" if none
+// (mirrors gain one after takeover).
+func (db *DB) ReplAddr() string { return db.node.ReplAddr() }
+
+// Serving reports whether the node currently executes transactions.
+func (db *DB) Serving() bool { return db.node.Engine() != nil }
+
+// Stats summarizes the node's transaction processing so far.
+type Stats struct {
+	// Outcome is the submitted/committed/missed tally.
+	Outcome metrics.Snapshot
+	// MissRatio is missed/submitted.
+	MissRatio float64
+	// MeanResponse is the mean submit→commit latency.
+	MeanResponse time.Duration
+	// MeanCommitWait is the mean validation→commit (log wait) latency —
+	// the cost the hot stand-by removes from the critical path.
+	MeanCommitWait time.Duration
+	// P95Response is the 95th-percentile response time.
+	P95Response time.Duration
+	// Mode is the node's current role.
+	Mode string
+	// LogMode is the current commit path.
+	LogMode string
+}
+
+// Stats returns a snapshot of the node's counters. Zero for a mirror
+// that has never served.
+func (db *DB) Stats() Stats {
+	e := db.node.Engine()
+	if e == nil {
+		return Stats{Mode: db.node.Mode().String()}
+	}
+	snap := e.Outcome().Snapshot()
+	return Stats{
+		Outcome:        snap,
+		MissRatio:      snap.MissRatio(),
+		MeanResponse:   e.ResponseTimes().Mean(),
+		MeanCommitWait: e.CommitWaits().Mean(),
+		P95Response:    e.ResponseTimes().Quantile(0.95),
+		Mode:           db.node.Mode().String(),
+		LogMode:        e.LogMode().String(),
+	}
+}
+
+// Recover replays a stored redo log (as written by a transient primary
+// or a mirror) into the database: the path taken when both nodes of a
+// pair have failed and the survivor restarts from disk.
+func (db *DB) Recover(r io.Reader) (RecoverStats, error) {
+	return db.node.RecoverFromLog(r)
+}
+
+// RecoverStats summarizes a log replay.
+type RecoverStats = wal.RecoverStats
+
+// Checkpoint writes a transaction-consistent snapshot of the database to
+// w and returns the validation order it corresponds to. Replaying the
+// log from that serial over the checkpoint reproduces the database.
+func (db *DB) Checkpoint(w io.Writer) (uint64, error) {
+	return db.node.Checkpoint(w)
+}
+
+// CheckpointToDir writes an atomic checkpoint file into dir and then
+// truncates the node's log — the checkpoint-and-truncate cycle that
+// bounds recovery time. Pair it with RecoverFromDir.
+func (db *DB) CheckpointToDir(dir string) (uint64, error) {
+	return db.node.CheckpointToDir(dir)
+}
+
+// RecoverFromDir restores the database from a CheckpointToDir directory
+// plus an optional log tail (nil for none).
+func (db *DB) RecoverFromDir(dir string, log io.Reader) (RecoverStats, error) {
+	return db.node.RecoverFromDir(dir, log)
+}
+
+// Close shuts the node down gracefully, draining transactions and
+// syncing the log.
+func (db *DB) Close() error {
+	err := db.node.Close()
+	if cerr := db.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash kills the node abruptly (testing failure scenarios).
+func (db *DB) Crash() { db.node.Crash() }
+
+func (db *DB) String() string {
+	return fmt.Sprintf("rodain.DB{%s %s}", db.node.Name(), db.node.Mode())
+}

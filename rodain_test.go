@@ -1,0 +1,329 @@
+package rodain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for i := 0; i < 100; i++ {
+		db.Load(ObjectID(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	return db
+}
+
+func TestOpenUpdateView(t *testing.T) {
+	db := openTest(t, Options{})
+	err := db.Update(time.Second, func(tx *Tx) error {
+		v, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		return tx.Write(1, append(v, '!'))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	err = db.View(time.Second, func(tx *Tx) error {
+		v, err := tx.Read(1)
+		got = v
+		return err
+	})
+	if err != nil || string(got) != "v1!" {
+		t.Fatalf("view: %q %v", got, err)
+	}
+	if db.Len() != 100 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	v, ok := db.Get(1)
+	if !ok || string(v) != "v1!" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Update(time.Second, func(tx *Tx) error { return tx.Write(1, []byte("x")) })
+	s := db.Stats()
+	if s.Outcome.Committed != 1 || s.Mode != "transient" {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LogMode != "disk" {
+		t.Fatalf("log mode = %s", s.LogMode)
+	}
+	if db.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDurabilityLevels(t *testing.T) {
+	for _, d := range []Durability{DurDisk, DurRelaxed, DurNone} {
+		db := openTest(t, Options{Durability: d})
+		if err := db.Update(time.Second, func(tx *Tx) error {
+			return tx.Write(1, []byte("y"))
+		}); err != nil {
+			t.Fatalf("durability %v: %v", d, err)
+		}
+	}
+}
+
+func TestFileBackedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rodain.log")
+	db, err := Open(Options{LogPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load(1, []byte("v"))
+	if err := db.Update(time.Second, func(tx *Tx) error {
+		return tx.Write(1, []byte("durable"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadProtocol(t *testing.T) {
+	if _, err := Open(Options{Protocol: "nope"}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+}
+
+func TestExecClasses(t *testing.T) {
+	db := openTest(t, Options{Workers: 2})
+	if err := db.Exec(NonRealTime, 0, 0, func(tx *Tx) error {
+		_, err := tx.Read(1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Exec(Firm, time.Nanosecond, 0, func(tx *Tx) error {
+		time.Sleep(5 * time.Millisecond)
+		_, err := tx.Read(1)
+		return err
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseRejects(t *testing.T) {
+	db, _ := Open(Options{})
+	db.Close()
+	if err := db.Update(time.Second, func(tx *Tx) error { return nil }); err == nil {
+		t.Fatal("update after close succeeded")
+	}
+}
+
+func TestOpenPrimaryValidation(t *testing.T) {
+	if _, err := OpenPrimary(Options{}, ""); err == nil {
+		t.Fatal("empty listen address accepted")
+	}
+}
+
+func TestPairAndFailoverThroughPublicAPI(t *testing.T) {
+	opts := Options{
+		Workers:         2,
+		HeartbeatEvery:  25 * time.Millisecond,
+		HeartbeatMisses: 4,
+	}
+	primary, err := OpenPrimary(opts, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		primary.Load(ObjectID(i), []byte("init"))
+	}
+	mirror, err := OpenMirror(opts, primary.ReplAddr(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mirror.Close()
+
+	waitKind(t, primary, EventMirrorAttached)
+	if !primary.Serving() || mirror.Serving() {
+		t.Fatalf("roles wrong: primary serving=%v mirror serving=%v",
+			primary.Serving(), mirror.Serving())
+	}
+	if err := primary.Update(time.Second, func(tx *Tx) error {
+		return tx.Write(7, []byte("shipped"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.Update(time.Second, func(tx *Tx) error { return nil }); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("mirror accepted a transaction: %v", err)
+	}
+	if primary.Stats().LogMode != "ship" {
+		t.Fatalf("log mode = %s", primary.Stats().LogMode)
+	}
+
+	primary.Crash()
+	waitKind(t, mirror, EventTakeover)
+	// Promoted mirror serves, with the committed data.
+	err = mirror.Update(time.Second, func(tx *Tx) error {
+		v, err := tx.Read(7)
+		if err != nil {
+			return err
+		}
+		if string(v) != "shipped" {
+			return fmt.Errorf("lost committed write: %q", v)
+		}
+		return tx.Write(7, []byte("after"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirror.ReplAddr() == "" {
+		t.Fatal("promoted node has no replication listener for rejoin")
+	}
+}
+
+func waitKind(t *testing.T, db *DB, kind EventKind) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-db.Events():
+			if ev.Kind == kind {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("event %v not seen", kind)
+		}
+	}
+}
+
+func TestPublicCheckpointCycle(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, Options{})
+	for i := 0; i < 20; i++ {
+		if err := db.Update(time.Second, func(tx *Tx) error {
+			return tx.Write(ObjectID(i), []byte("v2"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, err := db.CheckpointToDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 20 {
+		t.Fatalf("serial = %d", serial)
+	}
+	// More work after the checkpoint goes only to the (truncated) log.
+	if err := db.Update(time.Second, func(tx *Tx) error {
+		return tx.Write(1, []byte("v3"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh node restores from the checkpoint alone (the in-memory
+	// log is gone with the "crashed" node).
+	db2, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st, err := db2.RecoverFromDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSerial != 20 {
+		t.Fatalf("LastSerial = %d", st.LastSerial)
+	}
+	v, _ := db2.Get(5)
+	if string(v) != "v2" {
+		t.Fatalf("object 5 = %q", v)
+	}
+}
+
+func TestPublicCheckpointStream(t *testing.T) {
+	db := openTest(t, Options{})
+	var buf bytes.Buffer
+	serial, err := db.Checkpoint(&buf)
+	if err != nil || serial != 0 {
+		t.Fatalf("checkpoint: serial=%d err=%v", serial, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty checkpoint stream")
+	}
+}
+
+func TestPublicDelete(t *testing.T) {
+	db := openTest(t, Options{})
+	err := db.Update(time.Second, func(tx *Tx) error {
+		if _, err := tx.Read(5); err != nil {
+			return err
+		}
+		return tx.Delete(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get(5); ok {
+		t.Fatal("object survived delete")
+	}
+	// Reading a deleted object inside a transaction fails like any
+	// missing object.
+	err = db.View(time.Second, func(tx *Tx) error {
+		_, err := tx.Read(5)
+		return err
+	})
+	if err == nil {
+		t.Fatal("read of deleted object succeeded")
+	}
+}
+
+func TestPublicRecover(t *testing.T) {
+	// A crashed node's file log replays through the public API.
+	path := filepath.Join(t.TempDir(), "wal")
+	db1, err := Open(Options{LogPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1.Load(1, []byte("v0"))
+	if err := db1.Update(time.Second, func(tx *Tx) error {
+		return tx.Write(1, []byte("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db1.Crash()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db2, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st, err := db2.Recover(f)
+	if err != nil || st.Applied != 1 {
+		t.Fatalf("recover: %+v %v", st, err)
+	}
+	v, ok := db2.Get(1)
+	if !ok || string(v) != "v1" {
+		t.Fatalf("recovered value = %q %v", v, ok)
+	}
+}
+
+func TestOpenMirrorBadOptions(t *testing.T) {
+	if _, err := OpenMirror(Options{Protocol: "bogus"}, "127.0.0.1:1", ""); err == nil {
+		t.Fatal("bad protocol accepted by OpenMirror")
+	}
+}
