@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet clean
+.PHONY: all check build test race cover bench benchfast experiments examples fmt vet clean
 
 all: build test
+
+# Everything a change must keep green before it lands: build, vet, the
+# full test suite, the race detector over the concurrency-heavy
+# packages, and one fast benchmark pass to catch perf-path breakage.
+check: build vet test race-hot benchfast
+
+.PHONY: race-hot
+race-hot:
+	$(GO) test -race ./internal/store ./internal/core ./internal/occ ./internal/txn ./internal/transport
 
 build:
 	$(GO) build ./...
@@ -21,6 +30,13 @@ cover:
 # One quick pass over every figure/ablation benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Fast hot-path benchmarks only (store contention, shipping allocations):
+# seconds, suitable for every edit-compile cycle and for `make check`.
+benchfast:
+	$(GO) test -run xxx -bench 'BenchmarkStoreParallel|BenchmarkStoreViewParallel|BenchmarkApplyGroup' -benchmem -benchtime=100000x ./internal/store
+	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs' -benchmem -benchtime=10000x ./internal/core
+	$(GO) test -run xxx -bench 'BenchmarkStoreReadWrite|BenchmarkShippedCommit' -benchmem -benchtime=10000x .
 
 # Paper-scale regeneration of every figure (minutes).
 experiments:

@@ -52,10 +52,7 @@ func (d *DiskCommitter) Commit(g *wal.Group) error {
 		d.mu.Unlock()
 		return ErrStopped
 	}
-	buf := d.encodeBuf[:0]
-	for _, rec := range g.Flatten() {
-		buf = wal.AppendEncoded(buf, rec)
-	}
+	buf := g.AppendEncoded(d.encodeBuf[:0])
 	d.encodeBuf = buf
 	if err := d.log.Append(buf); err != nil {
 		d.mu.Unlock()

@@ -79,6 +79,29 @@ func (x *Tx) Read(id store.ObjectID) ([]byte, error) {
 	return v, nil
 }
 
+// ReadView is Read without the defensive copy: the returned slice is
+// borrowed from the database (or from this transaction's own deferred
+// write) and MUST NOT be modified, nor used after the transaction body
+// stages another write to the same object or returns. It exists for
+// decode-and-discard lookups on the hot path — a number translation that
+// parses the routing entry and drops the bytes pays no per-read
+// allocation. Use Read when in doubt.
+func (x *Tx) ReadView(id store.ObjectID) ([]byte, error) {
+	if err := x.check(); err != nil {
+		return nil, err
+	}
+	v, ok := x.t.ReadView(x.e.db, id)
+	if !ok {
+		return nil, fmt.Errorf("core: object %d does not exist", id)
+	}
+	if wts, observed := x.t.ObservedWriteTS(id); observed {
+		if !x.e.ctl.OnRead(x.t, id, wts) {
+			return nil, errRestart
+		}
+	}
+	return v, nil
+}
+
 // Delete stages a deletion of id in the private workspace. For
 // concurrency control a delete is a write.
 func (x *Tx) Delete(id store.ObjectID) error {

@@ -35,6 +35,7 @@ type MirrorEngine struct {
 	applied      uint64
 	ackedCommits uint64
 	logBuf       []byte
+	opsBuf       []store.Op // group-apply scratch, reused per group
 
 	stopFlush chan struct{}
 	flushWG   sync.WaitGroup
@@ -118,7 +119,7 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 		} else {
 			conn.SetRecvDeadline(time.Now().Add(handshake))
 		}
-		msg, err := conn.Recv()
+		msg, err := conn.RecvPooled()
 		if err != nil {
 			// Discard buffered, uncommitted transactions: when the
 			// Primary Node fails, transactions without a commit record
@@ -126,20 +127,28 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			reorderer.DiscardPending()
 			return fmt.Errorf("%w: %v", ErrPrimaryDown, err)
 		}
+		// Every arm below either copies or fully decodes the payload, so
+		// the frame goes straight back to the pool: the log stream is
+		// consumed without a per-message allocation.
 		switch msg.Type {
 		case transport.MsgPing:
+			transport.ReleaseMsg(msg)
 			live = true
-			if err := conn.Send(&transport.Msg{Type: transport.MsgPong}); err != nil {
+			if err := conn.SendControl(transport.MsgPong, 0); err != nil {
 				return fmt.Errorf("%w: pong: %v", ErrPrimaryDown, err)
 			}
 		case transport.MsgSnapshotBegin:
+			transport.ReleaseMsg(msg)
 			snapshotBuf = new(bytes.Buffer)
 		case transport.MsgSnapshotChunk:
 			if snapshotBuf == nil {
+				transport.ReleaseMsg(msg)
 				return fmt.Errorf("core: mirror: snapshot chunk without begin")
 			}
 			snapshotBuf.Write(msg.Payload)
+			transport.ReleaseMsg(msg)
 		case transport.MsgSnapshotEnd:
+			transport.ReleaseMsg(msg)
 			if snapshotBuf == nil {
 				return fmt.Errorf("core: mirror: snapshot end without begin")
 			}
@@ -166,14 +175,15 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			}
 		case transport.MsgRecord:
 			live = true
-			rec, err := wal.Decode(bytes.NewReader(msg.Payload))
+			rec, err := wal.DecodeBytes(msg.Payload)
+			transport.ReleaseMsg(msg)
 			if err != nil {
 				return fmt.Errorf("core: mirror: bad record: %v", err)
 			}
 			// Acknowledge commit records immediately on arrival — the
 			// signal that this transaction's logs are on the mirror.
 			if rec.Type == wal.TypeCommit {
-				if err := conn.Send(&transport.Msg{Type: transport.MsgAck, Serial: rec.SerialOrder}); err != nil {
+				if err := conn.SendControl(transport.MsgAck, rec.SerialOrder); err != nil {
 					reorderer.DiscardPending()
 					return fmt.Errorf("%w: ack: %v", ErrPrimaryDown, err)
 				}
@@ -189,26 +199,27 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 				m.apply(g)
 			}
 		default:
-			return fmt.Errorf("core: mirror: unexpected message %v", msg.Type)
+			typ := msg.Type
+			transport.ReleaseMsg(msg)
+			return fmt.Errorf("core: mirror: unexpected message %v", typ)
 		}
 	}
 }
 
 // apply installs one committed group into the database copy and appends
-// its records (already in validation order) to the log buffer.
+// its records (already in validation order) to the log buffer. The
+// group goes through ApplyGroup so its writes become visible atomically,
+// mirroring the primary's write phase.
 func (m *MirrorEngine) apply(g *wal.Group) {
+	// opsBuf needs no lock: apply only runs on the session goroutine.
+	ops := m.opsBuf[:0]
 	for _, w := range g.Writes {
-		if w.Type == wal.TypeDelete {
-			m.db.ApplyDelete(w.ObjectID, g.Commit.CommitTS)
-			continue
-		}
-		m.db.Apply(w.ObjectID, w.AfterImage, g.Commit.CommitTS)
+		ops = append(ops, store.Op{ID: w.ObjectID, Value: w.AfterImage, Delete: w.Type == wal.TypeDelete})
 	}
+	m.opsBuf = ops
+	m.db.ApplyGroup(ops, g.Commit.CommitTS)
 	m.mu.Lock()
-	buf := m.logBuf[:0]
-	for _, rec := range g.Flatten() {
-		buf = wal.AppendEncoded(buf, rec)
-	}
+	buf := g.AppendEncoded(m.logBuf[:0])
 	m.logBuf = buf
 	m.applied++
 	if g.SerialOrder() > m.lastSerial {

@@ -34,12 +34,35 @@ type MirrorShipper struct {
 	failed    bool
 	closed    bool
 
+	// Commit waiters share one resettable timer that broadcasts at a
+	// coarse tick while any waiter exists, instead of arming a fresh
+	// time.AfterFunc per wait iteration per committing transaction.
+	commitWaiters int
+	waitTimer     *time.Timer
+	idleTimer     *time.Timer // sender-only wakeup (heartbeat interval)
+
 	failOnce  sync.Once
 	onFailure func()
 
 	wg sync.WaitGroup
 
+	// sender scratch, reused across batches so the steady-state shipping
+	// path does not allocate per record: all records of a batch are
+	// encoded back to back into encBuf and the wire messages borrow
+	// sub-slices of it.
+	encBuf    []byte
+	spans     []recSpan
+	msgBuf    []transport.Msg
+	msgPtrs   []*transport.Msg
+	groupsBuf []*wal.Group
+
 	stats ShipperStats
+}
+
+// recSpan locates one encoded record inside the batch encode buffer.
+type recSpan struct {
+	start, end int
+	serial     uint64
 }
 
 // ShipperStats counts shipping activity.
@@ -70,8 +93,30 @@ func NewMirrorShipper(conn *transport.Conn, firstSerial uint64, ackTimeout, ping
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.lastHeard = time.Now()
+	// Both timers are created stopped; their callbacks only broadcast.
+	// waitTimer re-arms itself while commit waiters remain, so however
+	// many transactions are blocked in Commit there is exactly one timer.
+	s.waitTimer = time.AfterFunc(time.Hour, func() {
+		s.mu.Lock()
+		if s.commitWaiters > 0 {
+			s.waitTimer.Reset(waitTick)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.waitTimer.Stop()
+	s.idleTimer = time.AfterFunc(time.Hour, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.idleTimer.Stop()
 	return s
 }
+
+// waitTick is the coarse wakeup period commit waiters use to re-check
+// their ack-timeout deadline.
+const waitTick = 50 * time.Millisecond
 
 // Start launches the sender and acknowledgment reader. It is separate
 // from construction so a rejoining mirror can receive its snapshot on
@@ -112,19 +157,21 @@ func (s *MirrorShipper) Commit(g *wal.Group) error {
 }
 
 // timedWait waits on the condition with a coarse timer wakeup so ack
-// timeouts are honored without a timer per commit. Must hold s.mu. The
-// timer callback only broadcasts; if it fires after a regular wakeup the
-// extra broadcast is a harmless spurious wakeup. (Waiting for the
-// callback to finish here would deadlock: we hold the mutex the callback
-// needs.)
+// timeouts are honored without a timer per commit — or even per wait:
+// the first waiter arms the shared timer, its callback re-arms itself
+// while waiters remain, and the last waiter out stops it. The callback
+// only broadcasts; a late firing is a harmless spurious wakeup. Must
+// hold s.mu.
 func (s *MirrorShipper) timedWait() {
-	t := time.AfterFunc(50*time.Millisecond, func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
+	if s.commitWaiters == 0 {
+		s.waitTimer.Reset(waitTick)
+	}
+	s.commitWaiters++
 	s.cond.Wait()
-	t.Stop()
+	s.commitWaiters--
+	if s.commitWaiters == 0 {
+		s.waitTimer.Stop()
+	}
 }
 
 // sender ships pending groups in contiguous serial order, emitting
@@ -146,7 +193,7 @@ func (s *MirrorShipper) sender() {
 			if s.pending[s.nextSend] == nil && !s.failed && !s.closed {
 				// Idle: heartbeat so the mirror's watchdog stays calm.
 				s.mu.Unlock()
-				if err := s.conn.Send(&transport.Msg{Type: transport.MsgPing}); err != nil {
+				if err := s.conn.SendControl(transport.MsgPing, 0); err != nil {
 					s.fail()
 					return
 				}
@@ -163,7 +210,7 @@ func (s *MirrorShipper) sender() {
 		// amortizes the syscall per group while keeping strict
 		// validation order.
 		const maxBatchGroups = 64
-		groups := make([]*wal.Group, 0, 4)
+		groups := s.groupsBuf[:0]
 		for len(groups) < maxBatchGroups {
 			g := s.pending[s.nextSend]
 			if g == nil {
@@ -175,64 +222,90 @@ func (s *MirrorShipper) sender() {
 		}
 		s.mu.Unlock()
 
-		msgs := make([]*transport.Msg, 0, 2*len(groups))
-		var bytes uint64
+		// Encode every record of the batch back to back into the scratch
+		// buffer, then hand the transport sub-slices of it: one grown
+		// buffer instead of one allocation per record. Offsets are
+		// recorded first because appending may relocate the buffer.
+		enc := s.encBuf[:0]
+		spans := s.spans[:0]
 		for _, g := range groups {
-			for _, rec := range g.Flatten() {
-				payload := wal.AppendEncoded(nil, rec)
-				bytes += uint64(len(payload))
-				msgs = append(msgs, &transport.Msg{
-					Type:    transport.MsgRecord,
-					Serial:  rec.SerialOrder,
-					Payload: payload,
-				})
+			for _, rec := range g.Writes {
+				start := len(enc)
+				enc = wal.AppendEncoded(enc, rec)
+				spans = append(spans, recSpan{start: start, end: len(enc), serial: rec.SerialOrder})
 			}
+			start := len(enc)
+			enc = wal.AppendEncoded(enc, g.Commit)
+			spans = append(spans, recSpan{start: start, end: len(enc), serial: g.Commit.SerialOrder})
 		}
-		if err := s.conn.SendBatch(msgs); err != nil {
-			s.fail()
-			return
+		mbuf := s.msgBuf[:0]
+		for _, sp := range spans {
+			mbuf = append(mbuf, transport.Msg{
+				Type:    transport.MsgRecord,
+				Serial:  sp.serial,
+				Payload: enc[sp.start:sp.end],
+			})
 		}
-		s.mu.Lock()
-		s.stats.GroupsShipped += uint64(len(groups))
-		s.stats.RecordsShipped += uint64(len(msgs))
-		s.stats.BytesShipped += bytes
-		s.mu.Unlock()
-	}
-}
-
-// idleWait waits for work with a heartbeat-interval wakeup. Must hold
-// s.mu; same broadcast-only timer discipline as timedWait.
-func (s *MirrorShipper) idleWait() {
-	interval := s.ping
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	t := time.AfterFunc(interval, func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	s.cond.Wait()
-	t.Stop()
-}
-
-// ackReader consumes acknowledgments (and pongs) from the mirror.
-func (s *MirrorShipper) ackReader() {
-	defer s.wg.Done()
-	for {
-		m, err := s.conn.Recv()
+		msgs := s.msgPtrs[:0]
+		for i := range mbuf {
+			msgs = append(msgs, &mbuf[i])
+		}
+		err := s.conn.SendBatch(msgs)
+		// SendBatch copies payloads into the connection's write buffer
+		// before returning, so the scratch storage can be reused for the
+		// next batch.
+		nGroups, nRecords, nBytes := len(groups), len(msgs), len(enc)
+		for i := range groups {
+			groups[i] = nil // do not retain applied groups
+		}
+		s.encBuf, s.spans, s.msgBuf, s.msgPtrs, s.groupsBuf = enc, spans, mbuf, msgs, groups
 		if err != nil {
 			s.fail()
 			return
 		}
 		s.mu.Lock()
+		s.stats.GroupsShipped += uint64(nGroups)
+		s.stats.RecordsShipped += uint64(nRecords)
+		s.stats.BytesShipped += uint64(nBytes)
+		s.mu.Unlock()
+	}
+}
+
+// idleWait waits for work with a heartbeat-interval wakeup on the
+// sender's dedicated resettable timer (the sender is a single goroutine,
+// so a plain Reset before each wait suffices). Must hold s.mu; same
+// broadcast-only discipline as timedWait.
+func (s *MirrorShipper) idleWait() {
+	interval := s.ping
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s.idleTimer.Reset(interval)
+	s.cond.Wait()
+	s.idleTimer.Stop()
+}
+
+// ackReader consumes acknowledgments (and pongs) from the mirror. Acks
+// are drawn from the transport frame pool and released immediately:
+// nothing on this per-commit path survives the loop iteration.
+func (s *MirrorShipper) ackReader() {
+	defer s.wg.Done()
+	for {
+		m, err := s.conn.RecvPooled()
+		if err != nil {
+			s.fail()
+			return
+		}
+		typ, serial := m.Type, m.Serial
+		transport.ReleaseMsg(m)
+		s.mu.Lock()
 		s.lastHeard = time.Now()
 		s.mu.Unlock()
-		switch m.Type {
+		switch typ {
 		case transport.MsgAck:
 			s.mu.Lock()
-			if m.Serial > s.acked {
-				s.acked = m.Serial
+			if serial > s.acked {
+				s.acked = serial
 			}
 			s.stats.Acks++
 			s.cond.Broadcast()

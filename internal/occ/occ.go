@@ -257,10 +257,10 @@ func (c *Controller) OnWrite(t *txn.Transaction, id store.ObjectID) bool {
 	if _, dead := c.doomed[t.ID]; dead {
 		return false
 	}
-	if del := c.db.DeletedAt(id); del+1 > t.TSLow {
+	rts, wts, del, ok := c.db.ReadInfo(id)
+	if del+1 > t.TSLow {
 		t.TSLow = del + 1
 	}
-	rts, wts, ok := c.db.Timestamps(id)
 	if ok {
 		if rts+1 > t.TSLow {
 			t.TSLow = rts + 1
@@ -339,12 +339,12 @@ func (c *Controller) validateInterval(t *txn.Transaction) Result {
 	// after the deletion (which itself serialized after every reader
 	// and writer the item had).
 	for _, id := range t.WriteIDs() {
-		if del := c.db.DeletedAt(id); del+1 > lo {
+		rts, wts, del, ok := c.db.ReadInfo(id)
+		if del+1 > lo {
 			lo = del + 1
 		}
-		rts, wts, ok := c.db.Timestamps(id)
 		if !ok {
-			continue // brand-new object: unconstrained
+			continue // brand-new object: unconstrained beyond its tombstone
 		}
 		if rts+1 > lo {
 			lo = rts + 1

@@ -210,7 +210,7 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			value = args[1] // allow bare words
 		}
 		err = s.update(sess, func(tx *rodain.Tx) error {
-			if _, err := tx.Read(id); err != nil {
+			if _, err := tx.ReadView(id); err != nil { // existence check only
 				return err
 			}
 			return tx.Write(id, []byte(value))
@@ -228,7 +228,7 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			return "ERR " + err.Error()
 		}
 		err = s.update(sess, func(tx *rodain.Tx) error {
-			if _, err := tx.Read(id); err != nil {
+			if _, err := tx.ReadView(id); err != nil { // existence check only
 				return err
 			}
 			return tx.Delete(id)
@@ -248,7 +248,9 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 		var entry *telecom.Entry
 		err = s.view(sess, func(tx *rodain.Tx) error {
 			e, err := telecom.Translate(func(id rodain.ObjectID) ([]byte, bool) {
-				v, rerr := tx.Read(id)
+				// Translate decodes and discards, so the zero-copy
+				// borrowed read is safe.
+				v, rerr := tx.ReadView(id)
 				return v, rerr == nil
 			}, id)
 			entry = e
@@ -267,7 +269,7 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			return "ERR " + err.Error()
 		}
 		err = s.update(sess, func(tx *rodain.Tx) error {
-			v, err := tx.Read(id)
+			v, err := tx.ReadView(id) // decoded below before any write is staged
 			if err != nil {
 				return err
 			}
@@ -292,7 +294,7 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 		var balance int64
 		var prepaid bool
 		err = s.view(sess, func(tx *rodain.Tx) error {
-			enc, err := tx.Read(telecom.SubscriberID(idx))
+			enc, err := tx.ReadView(telecom.SubscriberID(idx))
 			if err != nil {
 				return err
 			}
@@ -326,7 +328,7 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 		}
 		err = s.update(sess, func(tx *rodain.Tx) error {
 			id := telecom.SubscriberID(idx)
-			enc, err := tx.Read(id)
+			enc, err := tx.ReadView(id) // consumed by Charge/TopUp before the write
 			if err != nil {
 				return err
 			}

@@ -416,7 +416,9 @@ func (s *Sim) finishStep(st *simTxn) {
 	switch {
 	case st.opIndex < len(st.spec.Reads): // a read
 		id := st.spec.Reads[st.opIndex]
-		if _, ok := t.Read(s.db, id); ok {
+		// The simulated body discards the value, so the borrowed
+		// zero-copy read is safe here.
+		if _, ok := t.ReadView(s.db, id); ok {
 			if wts, observed := t.ObservedWriteTS(id); observed {
 				if !s.ctl.OnRead(t, id, wts) {
 					s.restart(st)

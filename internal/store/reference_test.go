@@ -1,0 +1,159 @@
+package store
+
+import (
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// lockedStore is the pre-striping store: one global RWMutex over a
+// single map. It is kept verbatim as (a) the reference model the
+// property tests compare the striped store against, and (b) the baseline
+// BenchmarkStoreParallel measures the striping win against.
+type lockedStore struct {
+	mu      sync.RWMutex
+	items   map[ObjectID]*item
+	deleted map[ObjectID]uint64
+}
+
+func newLockedStore() *lockedStore {
+	return &lockedStore{items: make(map[ObjectID]*item), deleted: make(map[ObjectID]uint64)}
+}
+
+func (s *lockedStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+func (s *lockedStore) Get(id ObjectID) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneBytes(it.value), true
+}
+
+func (s *lockedStore) Timestamps(id ObjectID) (readTS, writeTS uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return it.readTS, it.writeTS, true
+}
+
+func (s *lockedStore) Put(id ObjectID, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[id] = &item{value: cloneBytes(value)}
+}
+
+func (s *lockedStore) Apply(id ObjectID, value []byte, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked(id, value, commitTS)
+}
+
+func (s *lockedStore) applyLocked(id ObjectID, value []byte, commitTS uint64) {
+	if s.deleted[id] > commitTS {
+		return
+	}
+	it, ok := s.items[id]
+	if !ok {
+		it = &item{}
+		s.items[id] = it
+	}
+	it.value = cloneBytes(value)
+	if commitTS > it.writeTS {
+		it.writeTS = commitTS
+	}
+}
+
+func (s *lockedStore) ObserveRead(id ObjectID, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it, ok := s.items[id]; ok && commitTS > it.readTS {
+		it.readTS = commitTS
+	}
+}
+
+func (s *lockedStore) ApplyDelete(id ObjectID, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyDeleteLocked(id, commitTS)
+}
+
+func (s *lockedStore) applyDeleteLocked(id ObjectID, commitTS uint64) {
+	it, ok := s.items[id]
+	if ok && it.writeTS > commitTS {
+		return
+	}
+	delete(s.items, id)
+	if commitTS > s.deleted[id] {
+		s.deleted[id] = commitTS
+	}
+}
+
+// ApplyGroup applies ops under one lock hold — trivially atomic on a
+// single-mutex store.
+func (s *lockedStore) ApplyGroup(ops []Op, commitTS uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ops {
+		if ops[i].Delete {
+			s.applyDeleteLocked(ops[i].ID, commitTS)
+		} else {
+			s.applyLocked(ops[i].ID, ops[i].Value, commitTS)
+		}
+	}
+}
+
+func (s *lockedStore) DeletedAt(id ObjectID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deleted[id]
+}
+
+func (s *lockedStore) Delete(id ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[id]; !ok {
+		return false
+	}
+	delete(s.items, id)
+	return true
+}
+
+func (s *lockedStore) Snapshot() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recs := make([]Record, 0, len(s.items))
+	for id, it := range s.items {
+		recs = append(recs, Record{ID: id, Value: cloneBytes(it.value), WriteTS: it.writeTS})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+func (s *lockedStore) Checksum() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ObjectID, 0, len(s.items))
+	for id := range s.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, id := range ids {
+		putUint64(buf[:], uint64(id))
+		h.Write(buf[:])
+		h.Write(s.items[id].value)
+		h.Write([]byte{0xff})
+	}
+	return h.Sum32()
+}

@@ -4,6 +4,21 @@
 // maintain. Transactions never write the store directly during their read
 // phase — deferred writes live in the transaction's private workspace and
 // are applied here only in the write phase, after validation.
+//
+// The store is hash-partitioned into power-of-two lock stripes so that
+// independent transactions touching different objects never contend on a
+// shared mutex. Single-object operations lock exactly one stripe.
+// Multi-object operations (ApplyGroup, Snapshot, Checksum, LoadSnapshot,
+// IDs) acquire the stripes they need in ascending stripe order, which
+// makes them deadlock-free against each other and keeps the guarantees
+// the rest of the system relies on: a Snapshot is a transaction-
+// consistent point-in-time copy, and a validated transaction's write
+// phase becomes visible atomically.
+//
+// Values are immutable once installed: every update stores a fresh copy
+// and never mutates an installed byte slice in place. This is what makes
+// the zero-copy View/ViewMeta reads safe — a borrowed slice can never be
+// concurrently overwritten, it can only go stale.
 package store
 
 import (
@@ -24,89 +39,208 @@ type Record struct {
 	WriteTS uint64
 }
 
+// Op is one element of a transactional write group: an insert/update
+// (after image in Value) or a deletion (Delete true, Value ignored).
+type Op struct {
+	ID     ObjectID
+	Value  []byte
+	Delete bool
+}
+
 type item struct {
 	value   []byte
 	readTS  uint64 // largest commit timestamp of any validated reader
 	writeTS uint64 // commit timestamp of the last validated writer
 }
 
-// Store is a main-memory object store safe for concurrent use.
-// The zero value is not usable; call New.
-type Store struct {
+// DefaultStripes is the stripe count used by New. Power of two; 64
+// stripes keep the per-stripe mutexes effectively uncontended up to far
+// more cores than a node realistically runs transaction workers on.
+const DefaultStripes = 64
+
+// stripe is one lock partition. Padded to a cache line so neighboring
+// stripes' mutexes do not false-share under write contention.
+type stripe struct {
 	mu      sync.RWMutex
 	items   map[ObjectID]*item
 	deleted map[ObjectID]uint64 // tombstone commit timestamps
+	_       [24]byte            // RWMutex(24) + 2 map headers(16) + 24 = one cache line
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{items: make(map[ObjectID]*item), deleted: make(map[ObjectID]uint64)}
+// Store is a main-memory object store safe for concurrent use.
+// The zero value is not usable; call New.
+type Store struct {
+	stripes []stripe
+	shift   uint // 64 - log2(len(stripes)); maps hashed ids to stripes
+}
+
+// New returns an empty store with DefaultStripes lock stripes.
+func New() *Store { return newStriped(DefaultStripes) }
+
+// newStriped returns an empty store with n (power of two) stripes.
+// Stripe count is an internal tuning knob: the logical contents,
+// Snapshot and Checksum of a store are identical for every n.
+func newStriped(n int) *Store {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("store: stripe count %d is not a positive power of two", n))
+	}
+	s := &Store{stripes: make([]stripe, n), shift: 64}
+	for nn := n; nn > 1; nn >>= 1 {
+		s.shift--
+	}
+	for i := range s.stripes {
+		s.stripes[i].items = make(map[ObjectID]*item)
+		s.stripes[i].deleted = make(map[ObjectID]uint64)
+	}
+	return s
+}
+
+// stripeIndex hashes an object id to its stripe. Fibonacci hashing keeps
+// strided id patterns (sequential keys, per-shard key spaces) spread
+// evenly instead of piling onto a few stripes.
+func (s *Store) stripeIndex(id ObjectID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> s.shift)
+}
+
+func (s *Store) stripeFor(id ObjectID) *stripe {
+	return &s.stripes[s.stripeIndex(id)]
 }
 
 // Len reports the number of objects.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.items)
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.items)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Get returns a copy of the object's value. It reports false if the
 // object does not exist.
 func (s *Store) Get(id ObjectID) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	it, ok := st.items[id]
 	if !ok {
+		st.mu.RUnlock()
 		return nil, false
 	}
-	return cloneBytes(it.value), true
+	v := cloneBytes(it.value)
+	st.mu.RUnlock()
+	return v, true
+}
+
+// View returns the object's value without copying. The returned slice is
+// owned by the store and MUST NOT be modified by the caller. Because
+// installed values are never mutated in place, the slice stays readable
+// indefinitely, but it no longer reflects the current database state
+// once a later transaction overwrites the object — callers should decode
+// and discard it. Use Get where the caller needs an owned copy.
+func (s *Store) View(id ObjectID) ([]byte, bool) {
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	it, ok := st.items[id]
+	if !ok {
+		st.mu.RUnlock()
+		return nil, false
+	}
+	v := it.value
+	st.mu.RUnlock()
+	return v, true
 }
 
 // GetMeta returns a copy of the value together with the item's read and
 // write timestamps.
 func (s *Store) GetMeta(id ObjectID) (value []byte, readTS, writeTS uint64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	it, ok := st.items[id]
 	if !ok {
+		st.mu.RUnlock()
 		return nil, 0, 0, false
 	}
-	return cloneBytes(it.value), it.readTS, it.writeTS, true
+	value, readTS, writeTS = cloneBytes(it.value), it.readTS, it.writeTS
+	st.mu.RUnlock()
+	return value, readTS, writeTS, true
+}
+
+// ViewMeta is GetMeta without the value copy; the View borrowing
+// contract applies to the returned slice.
+func (s *Store) ViewMeta(id ObjectID) (value []byte, readTS, writeTS uint64, ok bool) {
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	it, ok := st.items[id]
+	if !ok {
+		st.mu.RUnlock()
+		return nil, 0, 0, false
+	}
+	value, readTS, writeTS = it.value, it.readTS, it.writeTS
+	st.mu.RUnlock()
+	return value, readTS, writeTS, true
 }
 
 // Timestamps returns the item's read and write timestamps without copying
 // the value.
 func (s *Store) Timestamps(id ObjectID) (readTS, writeTS uint64, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	it, ok := st.items[id]
 	if !ok {
+		st.mu.RUnlock()
 		return 0, 0, false
 	}
-	return it.readTS, it.writeTS, true
+	readTS, writeTS = it.readTS, it.writeTS
+	st.mu.RUnlock()
+	return readTS, writeTS, true
+}
+
+// ReadInfo returns the item's timestamps together with its tombstone
+// timestamp in a single lock acquisition — the copy-free read the
+// validation path performs per write-set member. exists reports whether
+// the item is present; deletedTS is meaningful either way.
+func (s *Store) ReadInfo(id ObjectID) (readTS, writeTS, deletedTS uint64, exists bool) {
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	deletedTS = st.deleted[id]
+	it, exists := st.items[id]
+	if exists {
+		readTS, writeTS = it.readTS, it.writeTS
+	}
+	st.mu.RUnlock()
+	return readTS, writeTS, deletedTS, exists
 }
 
 // Put inserts or replaces an object outside of any transaction (bulk
 // load). Timestamps are reset to zero.
 func (s *Store) Put(id ObjectID, value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items[id] = &item{value: cloneBytes(value)}
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	st.items[id] = &item{value: cloneBytes(value)}
+	st.mu.Unlock()
 }
 
 // Apply installs a validated transactional write: the after image becomes
 // the current value and the item's write timestamp advances to commitTS.
 // Apply creates the object if it does not exist (an insert).
 func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.deleted[id] > commitTS {
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	st.apply(id, value, commitTS)
+	st.mu.Unlock()
+}
+
+// apply is Apply with the stripe lock held.
+func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
+	if st.deleted[id] > commitTS {
 		return // deleted by a newer transaction; do not resurrect
 	}
-	it, ok := s.items[id]
+	it, ok := st.items[id]
 	if !ok {
 		it = &item{}
-		s.items[id] = it
+		st.items[id] = it
 	}
 	it.value = cloneBytes(value)
 	if commitTS > it.writeTS {
@@ -117,11 +251,12 @@ func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
 // ObserveRead records that a transaction with the given commit timestamp
 // read the object, advancing the item's read timestamp.
 func (s *Store) ObserveRead(id ObjectID, commitTS uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if it, ok := s.items[id]; ok && commitTS > it.readTS {
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	if it, ok := st.items[id]; ok && commitTS > it.readTS {
 		it.readTS = commitTS
 	}
+	st.mu.Unlock()
 }
 
 // ApplyDelete installs a validated transactional deletion. Unlike
@@ -131,86 +266,189 @@ func (s *Store) ObserveRead(id ObjectID, commitTS uint64) {
 // LoadSnapshot — bounded in practice by the checkpoint cycle, which
 // replaces the store contents and clears them.
 func (s *Store) ApplyDelete(id ObjectID, commitTS uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	it, ok := s.items[id]
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	st.applyDelete(id, commitTS)
+	st.mu.Unlock()
+}
+
+// applyDelete is ApplyDelete with the stripe lock held.
+func (st *stripe) applyDelete(id ObjectID, commitTS uint64) {
+	it, ok := st.items[id]
 	if ok && it.writeTS > commitTS {
 		return // a newer write already superseded this deletion
 	}
-	delete(s.items, id)
-	if commitTS > s.deleted[id] {
-		if s.deleted == nil {
-			s.deleted = make(map[ObjectID]uint64)
+	delete(st.items, id)
+	if commitTS > st.deleted[id] {
+		st.deleted[id] = commitTS
+	}
+}
+
+// ApplyGroup installs one committed transaction's writes and deletes as
+// a single atomic step: every stripe the group touches is locked (in
+// ascending stripe order, so concurrent groups and whole-store readers
+// cannot deadlock) before the first update and released after the last.
+// A concurrent Snapshot therefore sees either none or all of the group —
+// the write phase is atomic, exactly as it was under one global mutex.
+// Ops are applied in slice order, so a group may write and then delete
+// (or re-write) the same object with last-op-wins semantics.
+func (s *Store) ApplyGroup(ops []Op, commitTS uint64) {
+	switch len(ops) {
+	case 0:
+		return
+	case 1: // single-object fast path: plain single-stripe locking
+		if ops[0].Delete {
+			s.ApplyDelete(ops[0].ID, commitTS)
+		} else {
+			s.Apply(ops[0].ID, ops[0].Value, commitTS)
 		}
-		s.deleted[id] = commitTS
+		return
+	}
+	var touched uint64 // stripe bitmask; DefaultStripes and every test count fit in 64 bits
+	if len(s.stripes) <= 64 {
+		for i := range ops {
+			touched |= 1 << uint(s.stripeIndex(ops[i].ID))
+		}
+		for i := range s.stripes {
+			if touched&(1<<uint(i)) != 0 {
+				s.stripes[i].mu.Lock()
+			}
+		}
+	} else {
+		touched = ^uint64(0)
+		for i := range s.stripes {
+			s.stripes[i].mu.Lock()
+		}
+	}
+	for i := range ops {
+		st := s.stripeFor(ops[i].ID)
+		if ops[i].Delete {
+			st.applyDelete(ops[i].ID, commitTS)
+		} else {
+			st.apply(ops[i].ID, ops[i].Value, commitTS)
+		}
+	}
+	if len(s.stripes) <= 64 {
+		for i := range s.stripes {
+			if touched&(1<<uint(i)) != 0 {
+				s.stripes[i].mu.Unlock()
+			}
+		}
+	} else {
+		for i := range s.stripes {
+			s.stripes[i].mu.Unlock()
+		}
 	}
 }
 
 // DeletedAt reports the tombstone timestamp for id (zero if never
 // transactionally deleted).
 func (s *Store) DeletedAt(id ObjectID) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.deleted[id]
+	st := s.stripeFor(id)
+	st.mu.RLock()
+	ts := st.deleted[id]
+	st.mu.RUnlock()
+	return ts
 }
 
 // Delete removes an object. It reports whether the object existed.
 func (s *Store) Delete(id ObjectID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.items[id]; !ok {
-		return false
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	_, ok := st.items[id]
+	if ok {
+		delete(st.items, id)
 	}
-	delete(s.items, id)
-	return true
+	st.mu.Unlock()
+	return ok
+}
+
+// rlockAll / runlockAll take every stripe read lock in ascending order —
+// the whole-store consistent read point used by Snapshot, Checksum and
+// IDs.
+func (s *Store) rlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.RUnlock()
+	}
 }
 
 // IDs returns all object ids in ascending order.
 func (s *Store) IDs() []ObjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]ObjectID, 0, len(s.items))
-	for id := range s.items {
-		ids = append(ids, id)
+	s.rlockAll()
+	ids := make([]ObjectID, 0, s.lenLocked())
+	for i := range s.stripes {
+		for id := range s.stripes[i].items {
+			ids = append(ids, id)
+		}
 	}
+	s.runlockAll()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// Snapshot returns a consistent copy of the whole database in ascending
-// id order, suitable for state transfer to a rejoining mirror node.
-func (s *Store) Snapshot() []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	recs := make([]Record, 0, len(s.items))
-	for id, it := range s.items {
-		recs = append(recs, Record{ID: id, Value: cloneBytes(it.value), WriteTS: it.writeTS})
+// lenLocked sums item counts; every stripe lock must be held.
+func (s *Store) lenLocked() int {
+	n := 0
+	for i := range s.stripes {
+		n += len(s.stripes[i].items)
 	}
+	return n
+}
+
+// Snapshot returns a consistent copy of the whole database in ascending
+// id order, suitable for state transfer to a rejoining mirror node. All
+// stripes are read-locked for the duration, so the copy is a single
+// point in time: it contains every group applied before it and none
+// applied after.
+func (s *Store) Snapshot() []Record {
+	s.rlockAll()
+	recs := make([]Record, 0, s.lenLocked())
+	for i := range s.stripes {
+		for id, it := range s.stripes[i].items {
+			recs = append(recs, Record{ID: id, Value: cloneBytes(it.value), WriteTS: it.writeTS})
+		}
+	}
+	s.runlockAll()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 	return recs
 }
 
 // LoadSnapshot replaces the store contents with the given records.
 func (s *Store) LoadSnapshot(recs []Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = make(map[ObjectID]*item, len(recs))
-	s.deleted = make(map[ObjectID]uint64)
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	for i := range s.stripes {
+		s.stripes[i].items = make(map[ObjectID]*item)
+		s.stripes[i].deleted = make(map[ObjectID]uint64)
+	}
 	for _, r := range recs {
-		s.items[r.ID] = &item{value: cloneBytes(r.Value), writeTS: r.WriteTS}
+		st := s.stripeFor(r.ID)
+		st.items[r.ID] = &item{value: cloneBytes(r.Value), writeTS: r.WriteTS}
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
 	}
 }
 
 // Checksum returns a CRC-32 over (id, value) pairs in ascending id order.
-// Two stores holding the same logical database produce the same checksum;
-// timestamps are deliberately excluded since a mirror rebuilt from logs
-// may carry different read timestamps.
+// Two stores holding the same logical database produce the same checksum
+// regardless of stripe count; timestamps are deliberately excluded since
+// a mirror rebuilt from logs may carry different read timestamps.
 func (s *Store) Checksum() uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]ObjectID, 0, len(s.items))
-	for id := range s.items {
-		ids = append(ids, id)
+	s.rlockAll()
+	defer s.runlockAll()
+	ids := make([]ObjectID, 0, s.lenLocked())
+	for i := range s.stripes {
+		for id := range s.stripes[i].items {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	h := crc32.NewIEEE()
@@ -218,7 +456,7 @@ func (s *Store) Checksum() uint32 {
 	for _, id := range ids {
 		putUint64(buf[:], uint64(id))
 		h.Write(buf[:])
-		h.Write(s.items[id].value)
+		h.Write(s.stripeFor(id).items[id].value)
 		h.Write([]byte{0xff}) // separator so (1,"ab")+(2,"") != (1,"a")+(2,"b")
 	}
 	return h.Sum32()

@@ -1,0 +1,359 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randOps generates a deterministic random operation sequence from seed:
+// puts, transactional applies/deletes, bare deletes and multi-object
+// groups over a small hot id range (so operations actually collide).
+type storeOp struct {
+	kind     int // 0 put, 1 apply, 2 applyDelete, 3 delete, 4 group
+	id       ObjectID
+	value    []byte
+	commitTS uint64
+	group    []Op
+}
+
+func randOps(seed int64, n int) []storeOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]storeOp, n)
+	val := func() []byte {
+		b := make([]byte, rng.Intn(24))
+		rng.Read(b)
+		return b
+	}
+	for i := range ops {
+		op := storeOp{
+			kind:     rng.Intn(5),
+			id:       ObjectID(rng.Intn(48)),
+			commitTS: uint64(rng.Intn(64)),
+		}
+		switch op.kind {
+		case 0, 1:
+			op.value = val()
+		case 4:
+			g := make([]Op, 1+rng.Intn(6))
+			for j := range g {
+				g[j] = Op{ID: ObjectID(rng.Intn(48)), Delete: rng.Intn(4) == 0}
+				if !g[j].Delete {
+					g[j].Value = val()
+				}
+			}
+			op.group = g
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+func runOp(op storeOp, striped *Store, ref *lockedStore) {
+	switch op.kind {
+	case 0:
+		striped.Put(op.id, op.value)
+		ref.Put(op.id, op.value)
+	case 1:
+		striped.Apply(op.id, op.value, op.commitTS)
+		ref.Apply(op.id, op.value, op.commitTS)
+	case 2:
+		striped.ApplyDelete(op.id, op.commitTS)
+		ref.ApplyDelete(op.id, op.commitTS)
+	case 3:
+		striped.Delete(op.id)
+		ref.Delete(op.id)
+	case 4:
+		striped.ApplyGroup(op.group, op.commitTS)
+		ref.ApplyGroup(op.group, op.commitTS)
+	}
+}
+
+// TestPropertyStripedMatchesReference drives random operation sequences
+// through the striped store and the single-mutex reference model and
+// requires identical observable state: Snapshot, Checksum, Len, Get and
+// tombstones.
+func TestPropertyStripedMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		striped := New()
+		ref := newLockedStore()
+		for _, op := range randOps(seed, 300) {
+			runOp(op, striped, ref)
+		}
+		if striped.Checksum() != ref.Checksum() {
+			t.Logf("seed %d: checksum mismatch", seed)
+			return false
+		}
+		if striped.Len() != ref.Len() {
+			t.Logf("seed %d: len %d != %d", seed, striped.Len(), ref.Len())
+			return false
+		}
+		ss, rs := striped.Snapshot(), ref.Snapshot()
+		if len(ss) != len(rs) {
+			return false
+		}
+		for i := range ss {
+			if ss[i].ID != rs[i].ID || ss[i].WriteTS != rs[i].WriteTS || !bytes.Equal(ss[i].Value, rs[i].Value) {
+				t.Logf("seed %d: snapshot record %d differs: %v vs %v", seed, i, ss[i], rs[i])
+				return false
+			}
+		}
+		for id := ObjectID(0); id < 48; id++ {
+			sv, sok := striped.Get(id)
+			rv, rok := ref.Get(id)
+			if sok != rok || !bytes.Equal(sv, rv) {
+				t.Logf("seed %d: Get(%d) differs", seed, id)
+				return false
+			}
+			if striped.DeletedAt(id) != ref.DeletedAt(id) {
+				t.Logf("seed %d: DeletedAt(%d) differs", seed, id)
+				return false
+			}
+			srts, swts, _ := striped.Timestamps(id)
+			rrts, rwts, _ := ref.Timestamps(id)
+			if srts != rrts || swts != rwts {
+				t.Logf("seed %d: Timestamps(%d) differ", seed, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStripedMatchesReferenceConcurrent repeats the comparison
+// with the op stream partitioned across goroutines whose ops never share
+// an object id (so the final state is deterministic), while extra reader
+// goroutines hammer Get/View/Snapshot/Checksum. Run under -race this
+// checks the locking, not just the logic.
+func TestPropertyStripedMatchesReferenceConcurrent(t *testing.T) {
+	const writers = 4
+	f := func(seed int64) bool {
+		striped := New()
+		ref := newLockedStore()
+		perWriter := make([][]storeOp, writers)
+		for w := 0; w < writers; w++ {
+			ops := randOps(seed+int64(w), 150)
+			// Shift ids into a per-writer key space: disjoint writers
+			// commute, so striped and reference converge to the same
+			// state regardless of interleaving.
+			for i := range ops {
+				ops[i].id = ops[i].id*writers + ObjectID(w)
+				for j := range ops[i].group {
+					ops[i].group[j].ID = ops[i].group[j].ID*writers + ObjectID(w)
+				}
+			}
+			perWriter[w] = ops
+		}
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func(r int) {
+				defer readers.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := ObjectID(i % (48 * writers))
+					striped.Get(id)
+					striped.View(id)
+					striped.ViewMeta(id)
+					striped.ReadInfo(id)
+					if i%64 == 0 {
+						striped.Snapshot()
+						striped.Checksum()
+					}
+				}
+			}(r)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(ops []storeOp) {
+				defer wg.Done()
+				for _, op := range ops {
+					runOp(op, striped, ref)
+				}
+			}(perWriter[w])
+		}
+		wg.Wait()
+		close(stop)
+		readers.Wait()
+		return striped.Checksum() == ref.Checksum() && striped.Len() == ref.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChecksumStableAcrossStripeCounts verifies that stripe count is
+// invisible in the store's logical contents: the same operations produce
+// the same Checksum, Snapshot and IDs at every power-of-two stripe count.
+func TestChecksumStableAcrossStripeCounts(t *testing.T) {
+	counts := []int{1, 2, 8, 64, 256}
+	stores := make([]*Store, len(counts))
+	for i, n := range counts {
+		stores[i] = newStriped(n)
+	}
+	for _, op := range randOps(7, 500) {
+		for _, s := range stores {
+			switch op.kind {
+			case 0:
+				s.Put(op.id, op.value)
+			case 1:
+				s.Apply(op.id, op.value, op.commitTS)
+			case 2:
+				s.ApplyDelete(op.id, op.commitTS)
+			case 3:
+				s.Delete(op.id)
+			case 4:
+				s.ApplyGroup(op.group, op.commitTS)
+			}
+		}
+	}
+	want := stores[0].Checksum()
+	wantSnap := stores[0].Snapshot()
+	for i, s := range stores[1:] {
+		if got := s.Checksum(); got != want {
+			t.Fatalf("stripes=%d: checksum %08x != %08x (stripes=1)", counts[i+1], got, want)
+		}
+		snap := s.Snapshot()
+		if len(snap) != len(wantSnap) {
+			t.Fatalf("stripes=%d: snapshot length %d != %d", counts[i+1], len(snap), len(wantSnap))
+		}
+		for j := range snap {
+			if snap[j].ID != wantSnap[j].ID || !bytes.Equal(snap[j].Value, wantSnap[j].Value) {
+				t.Fatalf("stripes=%d: snapshot record %d differs", counts[i+1], j)
+			}
+		}
+	}
+}
+
+// TestApplyGroupAtomicSnapshot checks the write-phase atomicity the
+// engine relies on: a concurrent Snapshot sees either all of a group's
+// writes or none. Each group writes the same sequence number to every
+// member object; a snapshot observing two different sequence numbers
+// would be a torn group.
+func TestApplyGroupAtomicSnapshot(t *testing.T) {
+	const objects = 16
+	s := New()
+	seq := func(n uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], n)
+		return b[:]
+	}
+	ops := make([]Op, objects)
+	for i := range ops {
+		ops[i] = Op{ID: ObjectID(i * 17), Value: seq(0)} // spread across stripes
+	}
+	s.ApplyGroup(ops, 1)
+
+	stop := make(chan struct{})
+	var torn error
+	var mu sync.Mutex
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if len(snap) != objects {
+					mu.Lock()
+					torn = fmt.Errorf("snapshot has %d objects, want %d", len(snap), objects)
+					mu.Unlock()
+					return
+				}
+				first := binary.LittleEndian.Uint64(snap[0].Value)
+				for _, rec := range snap[1:] {
+					if got := binary.LittleEndian.Uint64(rec.Value); got != first {
+						mu.Lock()
+						torn = fmt.Errorf("torn group: object %d at seq %d, object %d at seq %d", snap[0].ID, first, rec.ID, got)
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	for n := uint64(1); n <= 300; n++ {
+		for i := range ops {
+			ops[i].Value = seq(n)
+		}
+		s.ApplyGroup(ops, n+1)
+	}
+	close(stop)
+	readers.Wait()
+	if torn != nil {
+		t.Fatal(torn)
+	}
+}
+
+// TestViewBorrowedRead pins the View contract: no copy (the returned
+// slice aliases store memory) and stale-but-stable after an overwrite.
+func TestViewBorrowedRead(t *testing.T) {
+	s := New()
+	s.Put(1, []byte("before"))
+	v, ok := s.View(1)
+	if !ok || string(v) != "before" {
+		t.Fatalf("View = %q, %v", v, ok)
+	}
+	s.Apply(1, []byte("after"), 1)
+	if string(v) != "before" {
+		t.Fatalf("borrowed slice mutated in place: %q", v)
+	}
+	now, _ := s.View(1)
+	if string(now) != "after" {
+		t.Fatalf("View after Apply = %q", now)
+	}
+	if _, _, _, ok := s.ViewMeta(99); ok {
+		t.Fatal("ViewMeta reported ok for a missing object")
+	}
+	if _, ok := s.View(99); ok {
+		t.Fatal("View reported ok for a missing object")
+	}
+}
+
+// TestReadInfoMatchesSeparateReads checks ReadInfo against the separate
+// Timestamps + DeletedAt reads it fuses.
+func TestReadInfoMatchesSeparateReads(t *testing.T) {
+	s := New()
+	s.Apply(5, []byte("x"), 3)
+	s.ObserveRead(5, 7)
+	s.ApplyDelete(9, 4)
+	for _, id := range []ObjectID{5, 9, 11} {
+		rts, wts, ok := s.Timestamps(id)
+		del := s.DeletedAt(id)
+		gr, gw, gd, gok := s.ReadInfo(id)
+		if gr != rts || gw != wts || gd != del || gok != ok {
+			t.Fatalf("ReadInfo(%d) = (%d,%d,%d,%v), want (%d,%d,%d,%v)", id, gr, gw, gd, gok, rts, wts, del, ok)
+		}
+	}
+}
+
+func TestNewStripedRejectsBadCounts(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newStriped(%d) did not panic", n)
+				}
+			}()
+			newStriped(n)
+		}()
+	}
+}

@@ -75,6 +75,25 @@ type Msg struct {
 	Payload []byte
 }
 
+// msgPool recycles frames between RecvPooled and ReleaseMsg. Pooled
+// messages keep their payload capacity, so a steady-state log stream
+// receives without allocating.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+// ReleaseMsg returns a message obtained from RecvPooled to the frame
+// pool. The message and its payload must not be used afterwards. Passing
+// a message not obtained from RecvPooled is allowed (its payload buffer
+// joins the pool); passing nil is a no-op.
+func ReleaseMsg(m *Msg) {
+	if m == nil {
+		return
+	}
+	m.Type = 0
+	m.Serial = 0
+	m.Payload = m.Payload[:0]
+	msgPool.Put(m)
+}
+
 // ErrBadFrame reports framing or checksum damage on the wire.
 var ErrBadFrame = errors.New("transport: bad frame")
 
@@ -164,41 +183,77 @@ func (c *Conn) encodeLocked(m *Msg) error {
 }
 
 // Recv reads the next message. It returns io.EOF on clean shutdown and
-// ErrBadFrame on checksum or framing damage.
+// ErrBadFrame on checksum or framing damage. The returned message and
+// payload are freshly allocated and owned by the caller; hot paths that
+// can promise not to retain them should use RecvPooled.
 func (c *Conn) Recv() (*Msg, error) {
+	m := new(Msg)
+	if err := c.recvInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RecvPooled is Recv drawing the message and its payload buffer from the
+// frame pool: a receive loop that calls ReleaseMsg after processing each
+// message runs allocation-free once payload capacities have warmed up.
+// The message must not be retained past ReleaseMsg.
+func (c *Conn) RecvPooled() (*Msg, error) {
+	m := msgPool.Get().(*Msg)
+	if err := c.recvInto(m); err != nil {
+		ReleaseMsg(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// recvInto reads the next frame into m, growing (or allocating) the
+// payload buffer only when its capacity is insufficient.
+func (c *Conn) recvInto(m *Msg) error {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(c.br, hdr[:1]); err != nil {
-		return nil, err
+		return err
 	}
 	if _, err := io.ReadFull(c.br, hdr[1:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return err
 	}
 	payLen := binary.LittleEndian.Uint32(hdr[4:])
 	if int(payLen) > MaxFrameSize-frameHeader {
-		return nil, ErrBadFrame
+		return ErrBadFrame
 	}
-	m := &Msg{
-		Type:   MsgType(hdr[8]),
-		Serial: binary.LittleEndian.Uint64(hdr[9:]),
-	}
+	m.Type = MsgType(hdr[8])
+	m.Serial = binary.LittleEndian.Uint64(hdr[9:])
+	m.Payload = m.Payload[:0]
 	if payLen > 0 {
-		m.Payload = make([]byte, payLen)
+		if uint32(cap(m.Payload)) < payLen {
+			m.Payload = make([]byte, payLen)
+		} else {
+			m.Payload = m.Payload[:payLen]
+		}
 		if _, err := io.ReadFull(c.br, m.Payload); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return nil, err
+			return err
 		}
 	}
 	crc := crc32.ChecksumIEEE(hdr[4:])
 	crc = crc32.Update(crc, crc32.IEEETable, m.Payload)
 	if crc != binary.LittleEndian.Uint32(hdr[:4]) {
-		return nil, ErrBadFrame
+		return ErrBadFrame
 	}
-	return m, nil
+	return nil
+}
+
+// SendControl sends a payload-less message (ack, ping, pong, hello)
+// without constructing a Msg on the heap — these are the per-commit and
+// per-heartbeat frames of the mirror protocol.
+func (c *Conn) SendControl(t MsgType, serial uint64) error {
+	m := Msg{Type: t, Serial: serial}
+	return c.Send(&m)
 }
 
 // SetRecvDeadline sets a read deadline on the underlying stream, when it

@@ -174,6 +174,8 @@ type Transaction struct {
 	writes     map[store.ObjectID][]byte // deferred after images
 	tombstones map[store.ObjectID]bool   // deferred deletions
 	writeIDs   []store.ObjectID          // in first-write order
+
+	applyOps []store.Op // write-phase scratch, reused across restarts
 }
 
 // New returns a transaction in the Created state. deadline is absolute
@@ -216,6 +218,27 @@ func (t *Transaction) Read(db *store.Store, id store.ObjectID) ([]byte, bool) {
 		return cloneBytes(v), true
 	}
 	v, _, wts, ok := db.GetMeta(id)
+	if !ok {
+		return nil, false
+	}
+	t.recordRead(id, wts)
+	return v, true
+}
+
+// ReadView is Read without the defensive copies: the returned slice is
+// borrowed — from the database (store.View contract: never mutated in
+// place, but stale after a later commit) or from the private workspace —
+// and must not be modified or retained by the caller. It is the
+// engine-internal read for decode-and-discard accesses; Read keeps the
+// owned-copy contract for everything else.
+func (t *Transaction) ReadView(db *store.Store, id store.ObjectID) ([]byte, bool) {
+	if t.tombstones[id] {
+		return nil, false
+	}
+	if v, ok := t.writes[id]; ok {
+		return v, true
+	}
+	v, _, wts, ok := db.ViewMeta(id)
 	if !ok {
 		return nil, false
 	}
@@ -304,15 +327,20 @@ func (t *Transaction) WritesObject(id store.ObjectID) bool {
 
 // ApplyWrites installs every staged write into db with the transaction's
 // commit timestamp and marks the read set as observed. This is the write
-// phase; it must only be called after successful validation.
+// phase; it must only be called after successful validation. The writes
+// go through ApplyGroup, so they become visible as one atomic step even
+// to readers that bypass the concurrency controller.
 func (t *Transaction) ApplyWrites(db *store.Store) {
+	ops := t.applyOps[:0]
 	for _, id := range t.writeIDs {
 		if t.tombstones[id] {
-			db.ApplyDelete(id, t.CommitTS)
+			ops = append(ops, store.Op{ID: id, Delete: true})
 			continue
 		}
-		db.Apply(id, t.writes[id], t.CommitTS)
+		ops = append(ops, store.Op{ID: id, Value: t.writes[id]})
 	}
+	t.applyOps = ops
+	db.ApplyGroup(ops, t.CommitTS)
 	for _, re := range t.readSet {
 		db.ObserveRead(re.ID, t.CommitTS)
 	}

@@ -118,6 +118,40 @@ func Encode(w io.Writer, r *Record) error {
 	return err
 }
 
+// DecodeBytes decodes exactly one record from b, the zero-reader fast
+// path for framed transports whose payload is one whole record. The
+// after image is copied out of b, so the caller may reuse b immediately.
+// It returns ErrCorrupt on checksum, framing or trailing-garbage damage.
+func DecodeBytes(b []byte) (*Record, error) {
+	if len(b) < headerSize {
+		return nil, ErrCorrupt
+	}
+	imgLen := binary.LittleEndian.Uint32(b[4:])
+	if imgLen > MaxImageSize || len(b) != headerSize+int(imgLen) {
+		return nil, ErrCorrupt
+	}
+	if crc32.ChecksumIEEE(b[4:]) != binary.LittleEndian.Uint32(b[:4]) {
+		return nil, ErrCorrupt
+	}
+	rec := &Record{
+		Type:        Type(b[8]),
+		TxnID:       txn.ID(binary.LittleEndian.Uint64(b[9:])),
+		SerialOrder: binary.LittleEndian.Uint64(b[17:]),
+		CommitTS:    binary.LittleEndian.Uint64(b[25:]),
+		ObjectID:    store.ObjectID(binary.LittleEndian.Uint64(b[33:])),
+	}
+	if imgLen > 0 {
+		rec.AfterImage = make([]byte, imgLen)
+		copy(rec.AfterImage, b[headerSize:])
+	}
+	switch rec.Type {
+	case TypeWrite, TypeCommit, TypeAbort, TypeHeartbeat, TypeDelete:
+	default:
+		return nil, ErrCorrupt
+	}
+	return rec, nil
+}
+
 // Decode reads one record from r. It returns io.EOF at a clean record
 // boundary, io.ErrUnexpectedEOF if the stream ends mid-record, and
 // ErrCorrupt on checksum or framing damage.

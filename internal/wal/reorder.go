@@ -119,3 +119,22 @@ func (g *Group) Flatten() []*Record {
 	out = append(out, g.Writes...)
 	return append(out, g.Commit)
 }
+
+// AppendEncoded appends the group's records in stored-log order to dst
+// and returns the extended slice — Flatten + AppendEncoded without the
+// intermediate slice, for the commit hot path.
+func (g *Group) AppendEncoded(dst []byte) []byte {
+	for _, rec := range g.Writes {
+		dst = AppendEncoded(dst, rec)
+	}
+	return AppendEncoded(dst, g.Commit)
+}
+
+// EncodedSize reports the group's total stored-log size.
+func (g *Group) EncodedSize() int {
+	n := EncodedSize(g.Commit)
+	for _, rec := range g.Writes {
+		n += EncodedSize(rec)
+	}
+	return n
+}
