@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race cover bench benchfast experiments examples fmt vet clean
+.PHONY: all check build test race cover bench benchfast bench-json experiments examples fmt vet clean
 
 all: build test
 
@@ -37,6 +37,14 @@ benchfast:
 	$(GO) test -run xxx -bench 'BenchmarkStoreParallel|BenchmarkStoreViewParallel|BenchmarkApplyGroup' -benchmem -benchtime=100000x ./internal/store
 	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs' -benchmem -benchtime=10000x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkStoreReadWrite|BenchmarkShippedCommit' -benchmem -benchtime=10000x .
+
+# Machine-readable hot-path benchmark results, one JSON file per
+# package (BENCH_store.json, BENCH_core.json, BENCH_wal.json): the
+# perf trajectory CI archives on every run.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkStoreParallel|BenchmarkStoreViewParallel|BenchmarkApplyGroup' -benchmem -benchtime=100000x ./internal/store | $(GO) run ./cmd/rodain-benchjson -o BENCH_store.json
+	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs|BenchmarkMirrorApplyParallel' -benchmem -benchtime=10000x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_core.json
+	$(GO) test -run xxx -bench 'BenchmarkRecoverParallel' -benchmem -benchtime=3x ./internal/wal | $(GO) run ./cmd/rodain-benchjson -o BENCH_wal.json
 
 # Paper-scale regeneration of every figure (minutes).
 experiments:

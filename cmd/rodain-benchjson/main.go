@@ -1,0 +1,108 @@
+// Command rodain-benchjson converts `go test -bench` text output on
+// stdin into machine-readable JSON: one object per benchmark result with
+// the name, iteration count, ns/op and — when -benchmem is on — B/op
+// and allocs/op, plus any custom metrics (MB/s, txn/s). Non-benchmark
+// lines pass through to stderr so interleaved test output stays visible.
+//
+//	go test -bench . -benchmem ./internal/store | rodain-benchjson -o BENCH_store.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "rodain-benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rodain-benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rodain-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/bar-8   1000   123.4 ns/op   56 B/op   7 allocs/op   9.8 MB/s
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder is value/unit pairs.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b := int64(v)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if !seenNs {
+		return Result{}, false
+	}
+	return r, true
+}

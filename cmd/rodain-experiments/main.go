@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -87,6 +87,19 @@ func main() {
 		fmt.Println()
 	}
 
+	runRecoveryScaling := func() {
+		sizes := []int{10000, 50000, 200000}
+		if *quick {
+			sizes = []int{5000, 20000}
+		}
+		rs, err := experiments.RecoveryScaling(30000, sizes, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RecoveryScalingTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runAblations := func() {
 		experiments.ProtocolAblation(opts).Fprint(os.Stdout)
 		fmt.Println()
@@ -112,10 +125,13 @@ func main() {
 			runFigure(ids[short])
 		}
 		runTakeover()
+		runRecoveryScaling()
 		runAblations()
 		runTimeline()
 	case "takeover":
 		runTakeover()
+	case "recovery", "recovery-scaling":
+		runRecoveryScaling()
 	case "ablations", "ablation":
 		runAblations()
 	case "timeline", "failover":

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"os"
@@ -64,7 +65,7 @@ func part1(dir string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := recovered.Recover(f)
+	st, err := recovered.Recover(bufio.NewReader(f))
 	f.Close()
 	if err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -88,7 +89,9 @@ func (n *Node) RecoverFromDir(dir string, log io.Reader) (wal.RecoverStats, erro
 	var st wal.RecoverStats
 	ckpt := filepath.Join(dir, "checkpoint.ckpt")
 	if f, err := os.Open(ckpt); err == nil {
-		snap, serial, cerr := wal.ReadCheckpoint(f)
+		// Buffered: ReadCheckpoint decodes record by record and would
+		// otherwise pay a read syscall per record.
+		snap, serial, cerr := wal.ReadCheckpoint(bufio.NewReaderSize(f, 256<<10))
 		f.Close()
 		if cerr != nil {
 			return st, fmt.Errorf("core: bad checkpoint %s: %w", ckpt, cerr)
@@ -99,7 +102,7 @@ func (n *Node) RecoverFromDir(dir string, log io.Reader) (wal.RecoverStats, erro
 		return st, err
 	}
 	if log != nil {
-		tail, err := wal.Recover(log, n.db)
+		tail, err := wal.ParallelRecover(log, n.db, n.cfg.RecoverWorkers)
 		if err != nil {
 			return st, err
 		}

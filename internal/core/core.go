@@ -143,6 +143,16 @@ type Config struct {
 	// records to disk (asynchronously; default 50 ms). Zero keeps the
 	// default; negative disables mirror disk syncs.
 	MirrorSyncEvery time.Duration
+	// MirrorApplyWorkers sizes the mirror's parallel apply pool:
+	// committed groups with disjoint write sets install into the
+	// database copy concurrently while receive/ack and the stored log
+	// stay strictly ordered. Zero defaults to one worker per CPU;
+	// negative (or 1) applies inline on the session goroutine.
+	MirrorApplyWorkers int
+	// RecoverWorkers sizes the worker pool for log replay
+	// (RecoverFromLog / RecoverFromDir). Zero defaults to one worker
+	// per CPU; negative (or 1) replays sequentially.
+	RecoverWorkers int
 	// AckTimeout bounds how long a commit waits for the mirror's
 	// acknowledgment before declaring the mirror down (default 2 s).
 	AckTimeout time.Duration
@@ -165,6 +175,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MirrorSyncEvery == 0 {
 		c.MirrorSyncEvery = 50 * time.Millisecond
+	}
+	if c.MirrorApplyWorkers == 0 {
+		c.MirrorApplyWorkers = wal.DefaultRecoverWorkers()
+	}
+	if c.RecoverWorkers == 0 {
+		c.RecoverWorkers = wal.DefaultRecoverWorkers()
 	}
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 2 * time.Second

@@ -37,6 +37,12 @@ type MirrorEngine struct {
 	logBuf       []byte
 	opsBuf       []store.Op // group-apply scratch, reused per group
 
+	// applier, when non-nil, fans the database apply out over a
+	// conflict-aware worker pool; receive/ack and the stored log stay
+	// strictly ordered on the session goroutine. Only the session
+	// goroutine touches it.
+	applier *wal.ParallelApplier
+
 	stopFlush chan struct{}
 	flushWG   sync.WaitGroup
 }
@@ -86,6 +92,19 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 	m.mu.Unlock()
 	if err := conn.Send(&transport.Msg{Type: transport.MsgHello, Serial: hello}); err != nil {
 		return fmt.Errorf("%w: hello: %v", ErrPrimaryDown, err)
+	}
+
+	// Parallel apply sink: commit acknowledgment and log storage stay
+	// synchronous and ordered below, but the database apply itself fans
+	// out so the mirror's copy keeps up with a multicore primary. Closed
+	// (drained) before Run returns, so a takeover always promotes a
+	// fully-applied database.
+	if workers := m.cfg.MirrorApplyWorkers; workers > 1 {
+		m.applier = wal.NewParallelApplier(m.db, workers, false)
+		defer func() {
+			m.applier.Close()
+			m.applier = nil
+		}()
 	}
 
 	// Background log flusher: "the data storing to the disk is not
@@ -156,6 +175,9 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			if err != nil {
 				return fmt.Errorf("core: mirror: state transfer: %v", err)
 			}
+			if m.applier != nil {
+				m.applier.Wait() // no in-flight group may race the reload
+			}
 			m.db.LoadSnapshot(snap)
 			m.mu.Lock()
 			m.lastSerial = serial
@@ -207,17 +229,24 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 }
 
 // apply installs one committed group into the database copy and appends
-// its records (already in validation order) to the log buffer. The
-// group goes through ApplyGroup so its writes become visible atomically,
-// mirroring the primary's write phase.
+// its records (already in validation order) to the log buffer. With a
+// parallel applier the database install is handed to the worker pool
+// (per-object order preserved, so the drained copy is identical to a
+// sequential apply); otherwise the group goes through ApplyGroup inline.
+// Either way its writes become visible atomically, mirroring the
+// primary's write phase, and the stored log stays in validation order.
 func (m *MirrorEngine) apply(g *wal.Group) {
-	// opsBuf needs no lock: apply only runs on the session goroutine.
-	ops := m.opsBuf[:0]
-	for _, w := range g.Writes {
-		ops = append(ops, store.Op{ID: w.ObjectID, Value: w.AfterImage, Delete: w.Type == wal.TypeDelete})
+	if m.applier != nil {
+		m.applier.Apply(g)
+	} else {
+		// opsBuf needs no lock: apply only runs on the session goroutine.
+		ops := m.opsBuf[:0]
+		for _, w := range g.Writes {
+			ops = append(ops, store.Op{ID: w.ObjectID, Value: w.AfterImage, Delete: w.Type == wal.TypeDelete})
+		}
+		m.opsBuf = ops
+		m.db.ApplyGroup(ops, g.Commit.CommitTS)
 	}
-	m.opsBuf = ops
-	m.db.ApplyGroup(ops, g.Commit.CommitTS)
 	m.mu.Lock()
 	buf := g.AppendEncoded(m.logBuf[:0])
 	m.logBuf = buf

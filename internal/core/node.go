@@ -362,11 +362,13 @@ func (n *Node) Execute(req Request) error {
 }
 
 // RecoverFromLog replays a stored log (as written by a transient primary
-// or a mirror) into the node's database before it starts. It returns the
+// or a mirror) into the node's database before it starts, fanning the
+// apply phase out over cfg.RecoverWorkers conflict-aware workers (the
+// result is bit-identical to a sequential replay). It returns the
 // recovery statistics; the engine's counters are seeded so a subsequent
 // ServePrimary continues the epoch.
 func (n *Node) RecoverFromLog(r io.Reader) (wal.RecoverStats, error) {
-	st, err := wal.Recover(r, n.db)
+	st, err := wal.ParallelRecover(r, n.db, n.cfg.RecoverWorkers)
 	if err != nil {
 		return st, err
 	}

@@ -321,15 +321,17 @@ func (s *MirrorShipper) ackReader() {
 	}
 }
 
-// fail marks the mirror dead, wakes every waiter, and runs the failure
-// callback once.
+// fail marks the mirror dead, runs the failure callback once, and only
+// then wakes the waiters. The ordering is a guarantee, not a nicety: by
+// the time a pending Commit returns ErrMirrorDown the node has already
+// switched to transient mode, so the caller can immediately retry on
+// the disk path. (The callback must therefore not block on a commit
+// waiter; mirrorLost only flips node state.)
 func (s *MirrorShipper) fail() {
 	s.mu.Lock()
 	already := s.failed || s.closed
 	s.failed = true
-	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.conn.Close()
 	if !already {
 		s.failOnce.Do(func() {
 			if s.onFailure != nil {
@@ -337,6 +339,10 @@ func (s *MirrorShipper) fail() {
 			}
 		})
 	}
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.conn.Close()
 }
 
 // Acked reports the highest acknowledged serial order.

@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// randomLog builds an encoded log of randomized transactions: random
+// write-set sizes over a small (contended) id domain, a mix of
+// committed, aborted and dangling transactions, and — when interleave is
+// set — write records shuffled across transaction boundaries the way a
+// transient-mode log can hold them. It returns the encoded bytes.
+func randomLog(rng *rand.Rand, txns, idDomain int, interleave bool) []byte {
+	type source struct{ recs []*Record }
+	srcs := make([]*source, 0, txns)
+	serial := uint64(0)
+	for i := 0; i < txns; i++ {
+		id := txn.ID(i + 1)
+		s := &source{}
+		nw := rng.Intn(5)
+		for w := 0; w < nw; w++ {
+			if rng.Intn(10) == 0 {
+				s.recs = append(s.recs, &Record{Type: TypeDelete, TxnID: id,
+					ObjectID: store.ObjectID(rng.Intn(idDomain))})
+				continue
+			}
+			s.recs = append(s.recs, &Record{Type: TypeWrite, TxnID: id,
+				ObjectID:   store.ObjectID(rng.Intn(idDomain)),
+				AfterImage: []byte{byte(i), byte(w), byte(rng.Intn(256))}})
+		}
+		switch r := rng.Intn(100); {
+		case r < 75: // committed; commit timestamps deliberately not serial-monotone
+			serial++
+			s.recs = append(s.recs, &Record{Type: TypeCommit, TxnID: id,
+				SerialOrder: serial, CommitTS: uint64(1 + rng.Intn(txns*4))})
+		case r < 85: // aborted
+			s.recs = append(s.recs, &Record{Type: TypeAbort, TxnID: id})
+		default: // dangling (no commit record — discarded by recovery)
+		}
+		srcs = append(srcs, s)
+	}
+	var ordered []*Record
+	if interleave {
+		remaining := 0
+		for _, s := range srcs {
+			if len(s.recs) > 0 {
+				remaining++
+			}
+		}
+		for remaining > 0 {
+			i := rng.Intn(len(srcs))
+			if len(srcs[i].recs) == 0 {
+				continue
+			}
+			ordered = append(ordered, srcs[i].recs[0])
+			srcs[i].recs = srcs[i].recs[1:]
+			if len(srcs[i].recs) == 0 {
+				remaining--
+			}
+		}
+	} else {
+		for _, s := range srcs {
+			ordered = append(ordered, s.recs...)
+		}
+	}
+	var buf bytes.Buffer
+	for _, r := range ordered {
+		if err := Encode(&buf, r); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPropertyParallelRecoverEquivalence is the acceptance property of
+// the parallel redo pipeline: across randomized group interleavings,
+// contention levels and worker counts, ParallelRecover yields a database
+// checksum and recovery statistics identical to the sequential pass.
+func TestPropertyParallelRecoverEquivalence(t *testing.T) {
+	f := func(seed int64, w uint8, inter bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 2 + int(w%7) // 2..8
+		idDomain := 1 + rng.Intn(12)
+		logBytes := randomLog(rng, 20+rng.Intn(40), idDomain, inter)
+
+		seq := store.New()
+		seqStats, err := Recover(bytes.NewReader(logBytes), seq)
+		if err != nil {
+			t.Logf("sequential recover: %v", err)
+			return false
+		}
+		par := store.New()
+		parStats, err := ParallelRecover(bytes.NewReader(logBytes), par, workers)
+		if err != nil {
+			t.Logf("parallel recover: %v", err)
+			return false
+		}
+		if seq.Checksum() != par.Checksum() {
+			t.Logf("checksum mismatch: workers=%d domain=%d interleave=%v", workers, idDomain, inter)
+			return false
+		}
+		if seqStats.Applied != parStats.Applied ||
+			seqStats.WritesApplied != parStats.WritesApplied ||
+			seqStats.Discarded != parStats.Discarded ||
+			seqStats.LastSerial != parStats.LastSerial ||
+			seqStats.Truncated != parStats.Truncated {
+			t.Logf("stats mismatch: seq=%+v par=%+v", seqStats, parStats)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRecoverTruncatedTail pushes a torn log (ended mid-record)
+// through the parallel path: everything before the damage applies, the
+// pass ends cleanly with Truncated set, and the result still matches the
+// sequential pass bit for bit.
+func TestParallelRecoverTruncatedTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logBytes := randomLog(rng, 40, 8, true)
+	logBytes = logBytes[:len(logBytes)-11] // tear the last record
+
+	seq := store.New()
+	seqStats, err := Recover(bytes.NewReader(logBytes), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqStats.Truncated {
+		t.Fatal("sequential pass did not report truncation — test setup broken")
+	}
+	par := store.New()
+	parStats, err := ParallelRecover(bytes.NewReader(logBytes), par, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parStats.Truncated {
+		t.Fatal("parallel pass did not report the torn tail")
+	}
+	if seq.Checksum() != par.Checksum() {
+		t.Fatalf("torn-tail divergence: seq %08x par %08x", seq.Checksum(), par.Checksum())
+	}
+	if seqStats.Applied != parStats.Applied || seqStats.Discarded != parStats.Discarded {
+		t.Fatalf("torn-tail stats mismatch: seq=%+v par=%+v", seqStats, parStats)
+	}
+}
+
+// TestParallelRecoverCorruptTail covers checksum damage (not just
+// truncation) ending the parallel pass cleanly.
+func TestParallelRecoverCorruptTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	logBytes := randomLog(rng, 30, 6, false)
+	logBytes[len(logBytes)-20] ^= 0xff // corrupt inside the last record
+
+	par := store.New()
+	st, err := ParallelRecover(bytes.NewReader(logBytes), par, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated {
+		t.Fatal("corrupt tail not reported as truncation")
+	}
+	seq := store.New()
+	seqStats, err := Recover(bytes.NewReader(logBytes), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Checksum() != par.Checksum() || seqStats.Applied != st.Applied {
+		t.Fatalf("corrupt-tail divergence: seq=%+v par=%+v", seqStats, st)
+	}
+}
+
+// TestPropertyParallelApplierMirrorEquivalence checks the mirror-side
+// sink (no timestamp guard, atomic ApplyGroup write phase): applying
+// groups through the parallel applier in validation order leaves the
+// database copy identical to the sequential inline loop, for any
+// conflict structure and worker count.
+func TestPropertyParallelApplierMirrorEquivalence(t *testing.T) {
+	f := func(seed int64, w uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 2 + int(w%7)
+		idDomain := 1 + rng.Intn(10)
+		groups := make([]*Group, 0, 64)
+		for i := 0; i < 30+rng.Intn(30); i++ {
+			id := txn.ID(i + 1)
+			var writes []*Record
+			for n := rng.Intn(4); n > 0; n-- {
+				if rng.Intn(8) == 0 {
+					writes = append(writes, &Record{Type: TypeDelete, TxnID: id,
+						ObjectID: store.ObjectID(rng.Intn(idDomain))})
+					continue
+				}
+				writes = append(writes, &Record{Type: TypeWrite, TxnID: id,
+					ObjectID:   store.ObjectID(rng.Intn(idDomain)),
+					AfterImage: []byte{byte(i), byte(n)}})
+			}
+			groups = append(groups, &Group{Writes: writes, Commit: &Record{
+				Type: TypeCommit, TxnID: id,
+				SerialOrder: uint64(i + 1), CommitTS: uint64(1 + rng.Intn(200)),
+			}})
+		}
+
+		seq := store.New()
+		for _, g := range groups {
+			ops := make([]store.Op, 0, len(g.Writes))
+			for _, w := range g.Writes {
+				ops = append(ops, store.Op{ID: w.ObjectID, Value: w.AfterImage, Delete: w.Type == TypeDelete})
+			}
+			seq.ApplyGroup(ops, g.Commit.CommitTS)
+		}
+
+		par := store.New()
+		ap := NewParallelApplier(par, workers, false)
+		for _, g := range groups {
+			ap.Apply(g)
+		}
+		ap.Close()
+		if ap.Applied() != len(groups) {
+			t.Logf("applied %d of %d groups", ap.Applied(), len(groups))
+			return false
+		}
+		return seq.Checksum() == par.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelApplierWaitDrains checks that Wait is a full barrier: the
+// store is a consistent serial-order prefix afterwards and the applier
+// remains usable for further groups.
+func TestParallelApplierWaitDrains(t *testing.T) {
+	db := store.New()
+	ap := NewParallelApplier(db, 4, false)
+	defer ap.Close()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			serial := uint64(round*200 + i + 1)
+			ap.Apply(&Group{
+				Writes: []*Record{{Type: TypeWrite, TxnID: txn.ID(serial),
+					ObjectID: store.ObjectID(i % 17), AfterImage: []byte{byte(round)}}},
+				Commit: &Record{Type: TypeCommit, TxnID: txn.ID(serial),
+					SerialOrder: serial, CommitTS: serial},
+			})
+		}
+		ap.Wait()
+		if got, want := ap.Applied(), (round+1)*200; got != want {
+			t.Fatalf("round %d: applied %d, want %d", round, got, want)
+		}
+		if got, want := ap.MaxSerial(), uint64((round+1)*200); got != want {
+			t.Fatalf("round %d: max serial %d, want %d", round, got, want)
+		}
+	}
+	if db.Len() != 17 {
+		t.Fatalf("got %d objects, want 17", db.Len())
+	}
+}
+
+// TestParallelApplierBackpressure floods the applier far past its
+// inflight bound with maximally conflicting groups (every group writes
+// object 0, forcing a fully serial chain) and checks nothing deadlocks
+// or is lost.
+func TestParallelApplierBackpressure(t *testing.T) {
+	db := store.New()
+	ap := NewParallelApplier(db, 8, true)
+	const n = 3 * maxApplierInflight
+	for i := 1; i <= n; i++ {
+		ap.Apply(&Group{
+			Writes: []*Record{{Type: TypeWrite, TxnID: txn.ID(i),
+				ObjectID: 0, AfterImage: []byte{byte(i)}}},
+			Commit: &Record{Type: TypeCommit, TxnID: txn.ID(i),
+				SerialOrder: uint64(i), CommitTS: uint64(i)},
+		})
+	}
+	ap.Close()
+	if got := ap.Applied(); got != n {
+		t.Fatalf("applied %d, want %d", got, n)
+	}
+	v, ok := db.Get(0)
+	if !ok || v[0] != byte(n%256) {
+		t.Fatalf("final value %v (ok=%v), want [%d]", v, ok, byte(n%256))
+	}
+}
+
+// TestParallelRecoverWorkerDefaults: 0 means one worker per CPU, <=1
+// falls back to the sequential pass — both must still replay correctly.
+func TestParallelRecoverWorkerDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	logBytes := randomLog(rng, 25, 6, true)
+	want := store.New()
+	if _, err := Recover(bytes.NewReader(logBytes), want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 1} {
+		db := store.New()
+		if _, err := ParallelRecover(bytes.NewReader(logBytes), db, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if db.Checksum() != want.Checksum() {
+			t.Fatalf("workers=%d: checksum mismatch", workers)
+		}
+	}
+}
