@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race cover bench benchfast bench-json experiments examples fmt vet clean
+.PHONY: all check build test race cover bench benchfast bench-json benchdiff experiments examples fmt vet clean
 
 all: build test
 
@@ -43,8 +43,16 @@ benchfast:
 # perf trajectory CI archives on every run.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkStoreParallel|BenchmarkStoreViewParallel|BenchmarkApplyGroup' -benchmem -benchtime=100000x ./internal/store | $(GO) run ./cmd/rodain-benchjson -o BENCH_store.json
-	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs|BenchmarkMirrorApplyParallel' -benchmem -benchtime=10000x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_core.json
+	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs|BenchmarkMirrorApplyParallel|BenchmarkEngineParallel' -benchmem -benchtime=10000x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_core.json
+	$(GO) test -run xxx -bench 'BenchmarkOCCContention|BenchmarkDoomedPoll' -benchmem -benchtime=10000x ./internal/occ | $(GO) run ./cmd/rodain-benchjson -o BENCH_occ.json
 	$(GO) test -run xxx -bench 'BenchmarkRecoverParallel' -benchmem -benchtime=3x ./internal/wal | $(GO) run ./cmd/rodain-benchjson -o BENCH_wal.json
+
+# Per-benchmark deltas between two bench-json snapshots (ns/op, allocs,
+# custom metrics), flagging regressions past THRESHOLD percent:
+#   make benchdiff OLD=baseline/BENCH_core.json NEW=BENCH_core.json
+THRESHOLD ?= 10
+benchdiff:
+	$(GO) run ./cmd/rodain-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
 
 # Paper-scale regeneration of every figure (minutes).
 experiments:

@@ -1,0 +1,176 @@
+// Command rodain-benchdiff compares two benchmark snapshots produced by
+// rodain-benchjson (BENCH_*.json) and prints per-benchmark deltas:
+// ns/op, allocs/op and any custom metrics (commits/sec, MB/s). It is
+// the review end of the perf trajectory CI archives on every run.
+//
+//	rodain-benchdiff old/BENCH_core.json new/BENCH_core.json
+//	rodain-benchdiff -threshold 15 -fail base.json head.json
+//
+// A benchmark counts as a regression when its ns/op grew by more than
+// -threshold percent (or its allocs/op grew at all, when both sides
+// report them); -fail turns any regression into exit status 1 so CI can
+// gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors rodain-benchjson's output schema.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Delta is one benchmark's before/after comparison.
+type Delta struct {
+	Name       string
+	Old, New   *Result // nil when the benchmark exists on one side only
+	NsPct      float64 // ns/op change in percent (+ = slower)
+	AllocsDiff int64   // allocs/op change (+ = more allocations)
+	Regressed  bool
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "ns/op growth in percent that counts as a regression")
+	failOnRegress := flag.Bool("fail", false, "exit 1 when any benchmark regressed")
+	out := flag.String("o", "", "write the report to a file as well as stdout")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rodain-benchdiff [-threshold pct] [-fail] [-o report] OLD.json NEW.json")
+		os.Exit(2)
+	}
+
+	oldR, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas := diff(oldR, newR, *threshold)
+	report := render(flag.Arg(0), flag.Arg(1), deltas, *threshold)
+	os.Stdout.WriteString(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *failOnRegress {
+		for _, d := range deltas {
+			if d.Regressed {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rodain-benchdiff:", err)
+	os.Exit(2)
+}
+
+func load(path string) ([]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rs, nil
+}
+
+// diff pairs results by name and computes deltas. Benchmarks present on
+// one side only are reported with a nil counterpart and never count as
+// regressions (a renamed or new benchmark is not a slowdown).
+func diff(oldR, newR []Result, threshold float64) []Delta {
+	oldBy := map[string]*Result{}
+	for i := range oldR {
+		oldBy[oldR[i].Name] = &oldR[i]
+	}
+	seen := map[string]bool{}
+	var out []Delta
+	for i := range newR {
+		n := &newR[i]
+		seen[n.Name] = true
+		d := Delta{Name: n.Name, New: n}
+		if o := oldBy[n.Name]; o != nil {
+			d.Old = o
+			if o.NsPerOp > 0 {
+				d.NsPct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			}
+			if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+				d.AllocsDiff = *n.AllocsPerOp - *o.AllocsPerOp
+			}
+			d.Regressed = d.NsPct > threshold || d.AllocsDiff > 0
+		}
+		out = append(out, d)
+	}
+	for i := range oldR {
+		if !seen[oldR[i].Name] {
+			out = append(out, Delta{Name: oldR[i].Name, Old: &oldR[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func render(oldPath, newPath string, deltas []Delta, threshold float64) string {
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	app("benchdiff: %s -> %s (regression threshold %+.0f%% ns/op)\n\n", oldPath, newPath, threshold)
+	app("%-60s %12s %12s %8s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs", "verdict")
+	regressions := 0
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil:
+			app("%-60s %12s %12.1f %8s %8s  new\n", d.Name, "-", d.New.NsPerOp, "-", "-")
+		case d.New == nil:
+			app("%-60s %12.1f %12s %8s %8s  removed\n", d.Name, d.Old.NsPerOp, "-", "-", "-")
+		default:
+			verdict := "ok"
+			if d.Regressed {
+				verdict = "REGRESSED"
+				regressions++
+			} else if d.NsPct < -threshold {
+				verdict = "improved"
+			}
+			app("%-60s %12.1f %12.1f %+7.1f%% %+8d  %s\n",
+				d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.NsPct, d.AllocsDiff, verdict)
+			for _, m := range metricNames(d) {
+				ov, nv := d.Old.Metrics[m], d.New.Metrics[m]
+				pct := 0.0
+				if ov != 0 {
+					pct = (nv - ov) / ov * 100
+				}
+				app("%-60s %12.1f %12.1f %+7.1f%%           (%s)\n", "", ov, nv, pct, m)
+			}
+		}
+	}
+	app("\n%d benchmark(s) regressed\n", regressions)
+	return string(b)
+}
+
+// metricNames lists custom metrics present on both sides, sorted.
+func metricNames(d Delta) []string {
+	var names []string
+	for m := range d.New.Metrics {
+		if _, ok := d.Old.Metrics[m]; ok {
+			names = append(names, m)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldR := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: i64(2)},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: i64(0)},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	newR := []Result{
+		{Name: "BenchmarkA", NsPerOp: 125, AllocsPerOp: i64(2)}, // +25% ns/op
+		{Name: "BenchmarkB", NsPerOp: 90, AllocsPerOp: i64(1)},  // faster but allocates
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	ds := diff(oldR, newR, 10)
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; !d.Regressed || d.NsPct != 25 {
+		t.Fatalf("A = %+v, want regressed at +25%%", d)
+	}
+	if d := byName["BenchmarkB"]; !d.Regressed || d.AllocsDiff != 1 {
+		t.Fatalf("B = %+v, want regressed on +1 alloc", d)
+	}
+	if d := byName["BenchmarkGone"]; d.New != nil || d.Regressed {
+		t.Fatalf("Gone = %+v, want removed and not regressed", d)
+	}
+	if d := byName["BenchmarkNew"]; d.Old != nil || d.Regressed {
+		t.Fatalf("New = %+v, want new and not regressed", d)
+	}
+}
+
+func TestDiffWithinThresholdOK(t *testing.T) {
+	oldR := []Result{{Name: "BenchmarkA", NsPerOp: 100}}
+	newR := []Result{{Name: "BenchmarkA", NsPerOp: 105}}
+	ds := diff(oldR, newR, 10)
+	if len(ds) != 1 || ds[0].Regressed {
+		t.Fatalf("ds = %+v, want one non-regressed delta", ds)
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	oldR := []Result{{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"commits/sec": 1000}}}
+	newR := []Result{{Name: "BenchmarkA", NsPerOp: 200, Metrics: map[string]float64{"commits/sec": 500}}}
+	report := render("old.json", "new.json", diff(oldR, newR, 10), 10)
+	for _, want := range []string{"BenchmarkA", "REGRESSED", "commits/sec", "1 benchmark(s) regressed"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

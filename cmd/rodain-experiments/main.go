@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -100,6 +100,19 @@ func main() {
 		fmt.Println()
 	}
 
+	runOCCScaling := func() {
+		txns := 20000
+		if *quick {
+			txns = 4000
+		}
+		rs, err := experiments.OCCScaling(1024, txns, []int{1, 2, 4, 8}, []int{10, 60})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.OCCScalingTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runAblations := func() {
 		experiments.ProtocolAblation(opts).Fprint(os.Stdout)
 		fmt.Println()
@@ -126,12 +139,15 @@ func main() {
 		}
 		runTakeover()
 		runRecoveryScaling()
+		runOCCScaling()
 		runAblations()
 		runTimeline()
 	case "takeover":
 		runTakeover()
 	case "recovery", "recovery-scaling":
 		runRecoveryScaling()
+	case "occscaling", "occ-scaling", "occ":
+		runOCCScaling()
 	case "ablations", "ablation":
 		runAblations()
 	case "timeline", "failover":

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// TestShipperCumulativeAckReleasesAll pins down the ack protocol the
+// mirror's coalescing relies on: acknowledgments are cumulative, so a
+// single MsgAck carrying the highest serial must release every pending
+// commit with a lower serial.
+func TestShipperCumulativeAckReleasesAll(t *testing.T) {
+	const n = 3
+	a, b := transport.Pipe()
+	var failed atomic.Bool
+	s := NewMirrorShipper(a, 1, 5*time.Second, 20*time.Millisecond, func() { failed.Store(true) })
+	s.Start()
+	t.Cleanup(func() {
+		s.Close()
+		b.Close()
+	})
+
+	// A mirror that stays quiet until it has seen all n commit records,
+	// then answers with one cumulative ack for the last serial.
+	go func() {
+		commits := 0
+		for {
+			m, err := b.Recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case transport.MsgPing:
+				b.Send(&transport.Msg{Type: transport.MsgPong})
+			case transport.MsgRecord:
+				rec, err := wal.Decode(newReader(m.Payload))
+				if err != nil {
+					return
+				}
+				if rec.Type == wal.TypeCommit {
+					commits++
+					if commits == n {
+						b.Send(&transport.Msg{Type: transport.MsgAck, Serial: rec.SerialOrder})
+					}
+				}
+			}
+		}
+	}()
+
+	done := make(chan error, n)
+	for i := uint64(1); i <= n; i++ {
+		i := i
+		go func() { done <- s.Commit(shipGroup(i)) }()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cumulative ack did not release all pending commits")
+		}
+	}
+	if s.Acked() != n {
+		t.Fatalf("Acked = %d, want %d", s.Acked(), n)
+	}
+	if failed.Load() {
+		t.Fatal("shipper reported failure")
+	}
+}
+
+// TestMirrorBatchGetsOneCumulativeAck drives the mirror engine with
+// three transactions shipped as one wire batch (a single flush, so they
+// land in the mirror's read buffer together) and expects a single
+// cumulative MsgAck for the highest serial instead of one ack per
+// commit record.
+func TestMirrorBatchGetsOneCumulativeAck(t *testing.T) {
+	a, b := transport.Pipe()
+	cfg := fastCfg()
+	cfg.MirrorApplyWorkers = -1 // inline apply: groups land before the ack is flushed
+	m := NewMirrorEngine(cfg, store.New(), newMemLog())
+	errc := make(chan error, 1)
+	go func() { errc <- m.Run(b) }()
+
+	hello, err := a.Recv()
+	if err != nil || hello.Type != transport.MsgHello {
+		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+
+	var msgs []*transport.Msg
+	for serial := uint64(1); serial <= 3; serial++ {
+		g := shipGroup(serial)
+		for _, rec := range g.Writes {
+			msgs = append(msgs, &transport.Msg{Type: transport.MsgRecord, Serial: serial, Payload: wal.AppendEncoded(nil, rec)})
+		}
+		msgs = append(msgs, &transport.Msg{Type: transport.MsgRecord, Serial: serial, Payload: wal.AppendEncoded(nil, g.Commit)})
+	}
+	if err := a.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+
+	ack, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != transport.MsgAck || ack.Serial != 3 {
+		t.Fatalf("first reply = type %v serial %d, want one cumulative ack with serial 3", ack.Type, ack.Serial)
+	}
+	// The coalesced ack is sent only after the whole buffered batch is
+	// processed, so all three groups are already applied.
+	if got := m.Applied(); got != 3 {
+		t.Fatalf("Applied = %d at ack time, want 3", got)
+	}
+	a.Close()
+	<-errc
+}

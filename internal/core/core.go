@@ -34,6 +34,7 @@ import (
 	"repro/internal/logstore"
 	"repro/internal/occ"
 	"repro/internal/sched"
+	"repro/internal/simtime"
 	"repro/internal/wal"
 )
 
@@ -161,6 +162,11 @@ type Config struct {
 	// HeartbeatMisses is how many missed heartbeats declare the peer
 	// dead (default 3).
 	HeartbeatMisses int
+	// Clock supplies time to the engine (deadline checks, latency
+	// histograms, commit retry backoff). Nil uses the wall clock; a
+	// simtime.SimClock lets simulated-time runs pass through commit
+	// retries without real sleeps.
+	Clock simtime.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +196,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatMisses <= 0 {
 		c.HeartbeatMisses = 3
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.NewWallClock()
 	}
 	return c
 }

@@ -151,7 +151,7 @@ type Engine struct {
 	ctl      *occ.Controller
 	queue    *sched.Queue
 	overload *sched.Overload
-	clock    *simtime.WallClock
+	clock    simtime.Clock
 
 	outcome    *metrics.Outcome
 	respTime   *metrics.Histogram // submit → commit
@@ -183,7 +183,7 @@ func NewEngine(cfg Config, db *store.Store, committer Committer, logMode LogMode
 		ctl:        occ.NewController(cfg.Protocol, db),
 		queue:      sched.NewQueue(cfg.NonRTReserve),
 		overload:   sched.NewOverload(cfg.Overload),
-		clock:      simtime.NewWallClock(),
+		clock:      cfg.Clock,
 		outcome:    metrics.NewOutcome(),
 		respTime:   new(metrics.Histogram),
 		commitWait: new(metrics.Histogram),
@@ -402,6 +402,7 @@ func (e *Engine) commitStable(t *txn.Transaction) error {
 		return nil
 	}
 	g := &wal.Group{Writes: wal.WriteRecordsFor(t), Commit: wal.CommitRecordFor(t)}
+	backoff := 100 * time.Microsecond
 	for attempt := 0; attempt < 3; attempt++ {
 		c := e.committer.Load().(committerBox).c
 		err := c.Commit(g)
@@ -410,13 +411,26 @@ func (e *Engine) commitStable(t *txn.Transaction) error {
 		}
 		if errors.Is(err, ErrMirrorDown) {
 			// The node (or a watchdog) swaps in a disk committer; wait
-			// briefly for the swap and retry.
-			time.Sleep(time.Millisecond)
+			// briefly for the swap and retry. The wait goes through the
+			// engine clock so simulated-time runs advance instead of
+			// stalling on a real sleep.
+			e.sleep(backoff)
+			backoff *= 2
+			if backoff > time.Millisecond {
+				backoff = time.Millisecond
+			}
 			continue
 		}
 		return err
 	}
 	return ErrMirrorDown
+}
+
+// sleep blocks until d has elapsed on the engine clock.
+func (e *Engine) sleep(d time.Duration) {
+	done := make(chan struct{})
+	e.clock.AfterFunc(d, func() { close(done) })
+	<-done
 }
 
 // restart resets the transaction for another attempt if it has restarts

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// jumpClock is a Clock whose AfterFunc fires immediately, advancing
+// virtual time by the requested delay: waits complete instantly while
+// recording how long they would have been. It stands in for a
+// simulation loop in tests that only care that code waits through the
+// clock instead of time.Sleep.
+type jumpClock struct {
+	mu    sync.Mutex
+	now   simtime.Time
+	waits []time.Duration
+}
+
+func (c *jumpClock) Now() simtime.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *jumpClock) AfterFunc(d simtime.Duration, fn func()) func() bool {
+	c.mu.Lock()
+	c.waits = append(c.waits, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	fn()
+	return func() bool { return false }
+}
+
+// downCommitter always reports the mirror as down.
+type downCommitter struct{}
+
+func (downCommitter) Commit(*wal.Group) error { return ErrMirrorDown }
+func (downCommitter) Close() error            { return nil }
+
+// TestCommitStableBacksOffOnEngineClock checks that the mirror-down
+// retry loop waits through the engine clock with capped exponential
+// backoff instead of a hard-coded real sleep: under a simulated clock
+// the whole retry sequence completes without blocking wall time.
+func TestCommitStableBacksOffOnEngineClock(t *testing.T) {
+	clk := &jumpClock{}
+	e := NewEngine(Config{Workers: 1, Clock: clk}, store.New(), downCommitter{}, LogShip)
+	defer e.Stop()
+
+	tx := txn.New(1, txn.Firm, 0, txn.NoDeadline)
+	tx.StageWrite(1, []byte("v"))
+
+	start := time.Now()
+	err := e.commitStable(tx)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, ErrMirrorDown) {
+		t.Fatalf("err = %v, want ErrMirrorDown", err)
+	}
+	clk.mu.Lock()
+	waits := append([]time.Duration(nil), clk.waits...)
+	clk.mu.Unlock()
+	want := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("wait %d = %v, want %v (waits %v)", i, waits[i], want[i], waits)
+		}
+	}
+	// All waiting went through the clock: real time spent should be far
+	// below even one of the old 1 ms sleeps. Allow generous slack for
+	// slow CI machines.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("commitStable blocked %v of wall time under a simulated clock", elapsed)
+	}
+}
+
+// TestEngineDefaultsToWallClock just pins the default: a nil Config
+// clock must still produce a working engine.
+func TestEngineDefaultsToWallClock(t *testing.T) {
+	e := NewEngine(Config{Workers: 1}, store.New(), nullCommitter{}, LogNone)
+	defer e.Stop()
+	if e.clock == nil {
+		t.Fatal("engine clock not defaulted")
+	}
+	if _, ok := e.clock.(*simtime.WallClock); !ok {
+		t.Fatalf("default clock is %T, want *simtime.WallClock", e.clock)
+	}
+}

@@ -131,6 +131,18 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 	}
 	live := false
 
+	// Ack coalescing: the shipper treats acknowledgments as cumulative
+	// (an ack for serial n releases every commit with serial <= n), so
+	// while more of the received batch is still buffered the mirror only
+	// notes the highest commit serial seen and sends one MsgAck when the
+	// read buffer drains (or after ackCoalesceMax commits, to bound how
+	// long a waiter rides along). One control frame per wire batch
+	// instead of one per commit record.
+	var (
+		pendingAckSerial uint64 // highest commit serial not yet acked
+		pendingAckCount  uint64 // commit records covered by it
+	)
+
 	var snapshotBuf *bytes.Buffer // non-nil while a state transfer is in progress
 	for {
 		if live {
@@ -202,16 +214,14 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			if err != nil {
 				return fmt.Errorf("core: mirror: bad record: %v", err)
 			}
-			// Acknowledge commit records immediately on arrival — the
-			// signal that this transaction's logs are on the mirror.
+			// Commit records are acknowledged on arrival — the signal
+			// that this transaction's logs are on the mirror — but the
+			// send itself is coalesced per wire batch (below).
 			if rec.Type == wal.TypeCommit {
-				if err := conn.SendControl(transport.MsgAck, rec.SerialOrder); err != nil {
-					reorderer.DiscardPending()
-					return fmt.Errorf("%w: ack: %v", ErrPrimaryDown, err)
+				if rec.SerialOrder > pendingAckSerial {
+					pendingAckSerial = rec.SerialOrder
 				}
-				m.mu.Lock()
-				m.ackedCommits++
-				m.mu.Unlock()
+				pendingAckCount++
 			}
 			groups, err := reorderer.Add(rec)
 			if err != nil {
@@ -225,8 +235,28 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			transport.ReleaseMsg(msg)
 			return fmt.Errorf("core: mirror: unexpected message %v", typ)
 		}
+		// Flush the coalesced ack before blocking on the next receive.
+		// Buffered() > 0 means more frames of this batch are already on
+		// this side (the primary flushed them, so they arrive without
+		// needing the ack first) — keep coalescing; == 0 means the wire
+		// is drained and the primary may be waiting on us.
+		if pendingAckCount > 0 && (conn.Buffered() == 0 || pendingAckCount >= ackCoalesceMax) {
+			if err := conn.SendControl(transport.MsgAck, pendingAckSerial); err != nil {
+				reorderer.DiscardPending()
+				return fmt.Errorf("%w: ack: %v", ErrPrimaryDown, err)
+			}
+			m.mu.Lock()
+			m.ackedCommits += pendingAckCount
+			m.mu.Unlock()
+			pendingAckSerial, pendingAckCount = 0, 0
+		}
 	}
 }
+
+// ackCoalesceMax bounds how many commit records one cumulative ack may
+// cover: even in a continuous burst the primary hears back at least
+// this often.
+const ackCoalesceMax = 32
 
 // apply installs one committed group into the database copy and appends
 // its records (already in validation order) to the log buffer. With a

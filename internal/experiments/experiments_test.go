@@ -318,3 +318,28 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOCCScalingExperiment(t *testing.T) {
+	rs, err := OCCScaling(256, 800, []int{1, 2}, []int{10, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("results = %d, want 4", len(rs))
+	}
+	for _, r := range rs {
+		if r.Committed == 0 || r.Throughput <= 0 {
+			t.Fatalf("dead cell: %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Fatalf("baseline speedup = %v", r.Speedup)
+		}
+	}
+	var b strings.Builder
+	if err := OCCScalingTable(rs).Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "controller sharding") {
+		t.Fatal("table missing title")
+	}
+}

@@ -7,7 +7,7 @@
 // transaction carries a unique commit timestamp; the serialization order
 // of accepted transactions is exactly commit-timestamp order. The
 // interval protocols (DA, TI, DATI) keep a timestamp interval
-// [TSLow, TSHigh] per active transaction ("dynamic adjustment of
+// [tsLow, tsHigh] per active transaction ("dynamic adjustment of
 // serialization order using timestamp intervals"): a validating
 // transaction picks its final timestamp inside its interval and then
 // narrows the intervals of conflicting active transactions — a reader of
@@ -29,18 +29,42 @@
 //     doomed transaction is detected (and restarted) as early as
 //     possible, at the price of bookkeeping on every data access.
 //   - OCC-DA assigns the latest feasible timestamp (validation order
-//     where unconstrained) and performs no access-time bookkeeping.
+//     where unconstrained) and performs no access-time narrowing.
 //
-// A Controller is a passive, mutex-guarded component: the execution
-// engine (real or simulated) calls it at begin, read, write, validation
-// and finish. Validation applies the write phase inside the critical
-// section, matching the paper's "transactions are validated atomically".
+// # Concurrency structure
+//
+// The controller is built so the common case never takes a global lock:
+//
+//   - Doomed polls read an atomic flag on the transaction itself.
+//   - Begin/Finish touch one shard of the active-transaction registry.
+//   - OnRead/OnWrite register the access in one shard of a per-object
+//     index (the conflict sets a validator scans), plus one striped
+//     store lookup.
+//   - Validate holds a short serial "ticket" mutex for timestamp and
+//     serial-order assignment, conflict-set snapshot against the object
+//     shards, and interval adjustment of conflicting actives — then
+//     applies the write phase through the striped store's ApplyGroup
+//     outside the ticket. Validation order (SerialOrder) is assigned
+//     under the ticket, and the store installs concurrent write phases
+//     in commit-timestamp order, so the applied state equals the
+//     serial application of the validation sequence.
+//
+// Committed-but-not-yet-applied effects are covered by a per-object
+// overlay (committedRead/Write/Delete below): a validator folds the
+// overlay over the store's item timestamps, so a second transaction
+// validating during the first one's in-flight write phase still sees
+// its constraints. An access that registers after a conflicting
+// validation already scanned the object's conflict sets is doomed
+// conservatively (it missed its interval adjustment); that window
+// cannot occur in sequential use, so single-threaded behaviour is
+// identical to the classic single-mutex controller.
 package occ
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/store"
 	"repro/internal/txn"
@@ -112,8 +136,89 @@ type Stats struct {
 	Commits         uint64 // accepted validations
 	SelfRestarts    uint64 // validating transaction rejected
 	VictimRestarts  uint64 // active transactions killed by adjustment
-	AccessRestarts  uint64 // transactions doomed at read/write time (OCC-TI)
+	AccessRestarts  uint64 // transactions doomed at read/write time
 	IntervalAdjusts uint64 // interval narrowings applied to actives
+}
+
+// counters is the controller's live (atomic) form of Stats.
+type counters struct {
+	validations     atomic.Uint64
+	commits         atomic.Uint64
+	selfRestarts    atomic.Uint64
+	victimRestarts  atomic.Uint64
+	accessRestarts  atomic.Uint64
+	intervalAdjusts atomic.Uint64
+}
+
+const (
+	objShardBits  = 6
+	objShardCount = 1 << objShardBits // object-index shards
+	txnShardBits  = 4
+	txnShardCount = 1 << txnShardBits // active-registry shards
+)
+
+// objectState is the per-object concurrency bookkeeping: the active
+// transactions registered as readers/writers of the object (the conflict
+// sets a validator adjusts), and the committed-timestamp overlay that
+// covers the window between a transaction's acceptance under the ticket
+// and the completion of its write phase against the store. Overlay
+// fields are zero when no apply is pending; they are published at
+// acceptance and retired (reset) once the owning apply has reached the
+// store, at which point the store's own item timestamps subsume them.
+type objectState struct {
+	committedRead   uint64
+	committedWrite  uint64
+	committedDelete uint64
+	readers         map[txn.ID]*txn.Transaction
+	writers         map[txn.ID]*txn.Transaction
+}
+
+func (os *objectState) idle() bool {
+	return len(os.readers) == 0 && len(os.writers) == 0 &&
+		os.committedRead == 0 && os.committedWrite == 0 && os.committedDelete == 0
+}
+
+// objShard is one lock-striped slice of the per-object index.
+type objShard struct {
+	mu      sync.Mutex
+	objects map[store.ObjectID]*objectState
+	_       [40]byte // keep shards on separate cache lines
+}
+
+// ensure returns the object's state, creating it if absent. Caller holds
+// the shard mutex.
+func (sh *objShard) ensure(id store.ObjectID) *objectState {
+	os := sh.objects[id]
+	if os == nil {
+		os = &objectState{}
+		sh.objects[id] = os
+	}
+	return os
+}
+
+// objShardResident is how many idle entries a shard keeps resident
+// before it starts freeing them. Hot objects cycle between idle and
+// registered on every transaction; keeping a bounded working set
+// resident (with its lazily-built reader/writer maps) avoids
+// re-allocating the state on each touch, while unbounded keyspaces
+// still shed entries once a shard grows past the cap.
+const objShardResident = 64
+
+// freeIfIdle drops the object's state once nothing references it and
+// the shard already holds a full resident set, so the index stays
+// bounded without churning allocations on a small hot set. Caller holds
+// the shard mutex.
+func (sh *objShard) freeIfIdle(id store.ObjectID, os *objectState) {
+	if os.idle() && len(sh.objects) > objShardResident {
+		delete(sh.objects, id)
+	}
+}
+
+// txnShard is one slice of the active-transaction registry.
+type txnShard struct {
+	mu     sync.Mutex
+	active map[txn.ID]*txn.Transaction
+	_      [40]byte
 }
 
 // Controller coordinates one protocol instance over one database. It is
@@ -122,25 +227,70 @@ type Controller struct {
 	kind Kind
 	db   *store.Store
 
-	mu         sync.Mutex
-	active     map[txn.ID]*txn.Transaction
-	doomed     map[txn.ID]txn.AbortReason
-	usedTS     map[uint64]struct{}
-	maxTS      uint64
-	tsFloor    uint64 // all new timestamps must exceed this (takeover seeding)
-	nextSerial uint64
-	stats      Stats
+	txns [txnShardCount]txnShard
+	objs [objShardCount]objShard
+
+	activeN atomic.Int64
+
+	// mu is the serial ticket: it orders validations and guards the
+	// timestamp/serial state below. Nothing on the per-operation path
+	// (Begin, Finish, OnRead, OnWrite, Doomed) takes it.
+	mu           sync.Mutex
+	applyIdle    *sync.Cond // signaled when pendingApply drops to zero
+	pendingApply int        // accepted validations whose write phase is in flight
+	usedTS       map[uint64]struct{}
+	maxTS        uint64
+	tsFloor      uint64 // all new timestamps must exceed this (takeover seeding)
+	nextSerial   uint64
+
+	// adjustment scratch, reused across validations (single validator at
+	// a time under the ticket).
+	adjTxns []adjEntry
+	adjIdx  map[txn.ID]int
+
+	n counters
+}
+
+// adjEntry aggregates the conflict directions between the validating
+// transaction and one active transaction, mirroring the classic per-
+// active conflict classification: precede means the active must
+// serialize before the validator (it read an item the validator
+// overwrites), follow means after (it writes an item the validator read
+// or wrote).
+type adjEntry struct {
+	u       *txn.Transaction
+	precede bool
+	follow  bool
 }
 
 // NewController returns a controller running protocol kind over db.
 func NewController(kind Kind, db *store.Store) *Controller {
-	return &Controller{
+	c := &Controller{
 		kind:   kind,
 		db:     db,
-		active: make(map[txn.ID]*txn.Transaction),
-		doomed: make(map[txn.ID]txn.AbortReason),
 		usedTS: make(map[uint64]struct{}),
+		adjIdx: make(map[txn.ID]int),
 	}
+	c.applyIdle = sync.NewCond(&c.mu)
+	for i := range c.txns {
+		c.txns[i].active = make(map[txn.ID]*txn.Transaction)
+	}
+	for i := range c.objs {
+		c.objs[i].objects = make(map[store.ObjectID]*objectState)
+	}
+	return c
+}
+
+// fibMix is the 64-bit Fibonacci hashing constant; it spreads dense
+// object and transaction ids across shards.
+const fibMix = 0x9E3779B97F4A7C15
+
+func (c *Controller) objShardFor(id store.ObjectID) *objShard {
+	return &c.objs[(uint64(id)*fibMix)>>(64-objShardBits)]
+}
+
+func (c *Controller) txnShardFor(id txn.ID) *txnShard {
+	return &c.txns[(uint64(id)*fibMix)>>(64-txnShardBits)]
 }
 
 // Kind reports the protocol in use.
@@ -148,16 +298,19 @@ func (c *Controller) Kind() Kind { return c.kind }
 
 // Stats returns a snapshot of the protocol counters.
 func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Validations:     c.n.validations.Load(),
+		Commits:         c.n.commits.Load(),
+		SelfRestarts:    c.n.selfRestarts.Load(),
+		VictimRestarts:  c.n.victimRestarts.Load(),
+		AccessRestarts:  c.n.accessRestarts.Load(),
+		IntervalAdjusts: c.n.intervalAdjusts.Load(),
+	}
 }
 
 // ActiveCount reports the number of registered active transactions.
 func (c *Controller) ActiveCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.active)
+	return int(c.activeN.Load())
 }
 
 // Seed initializes the validation-order and timestamp counters when a
@@ -186,111 +339,185 @@ func (c *Controller) LastSerial() uint64 {
 	return c.nextSerial
 }
 
-// WithFrozen runs f while validation is blocked, passing the last issued
-// validation order. Because the write phase runs inside validation, the
-// database is transaction-consistent for the duration of f — this is the
-// quiescent point used to snapshot state for a rejoining mirror.
+// WithFrozen runs f while validation is blocked and no accepted write
+// phase is in flight, passing the last issued validation order. The
+// database is transaction-consistent for the duration of f — this is
+// the quiescent point used to snapshot state for a rejoining mirror.
 func (c *Controller) WithFrozen(f func(lastSerial uint64)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for c.pendingApply > 0 {
+		c.applyIdle.Wait()
+	}
 	f(c.nextSerial)
 }
 
 // Begin registers t as active. A transaction must be registered before
 // any OnRead/OnWrite/Validate call and must eventually be Finished.
 func (c *Controller) Begin(t *txn.Transaction) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.active[t.ID] = t
-	delete(c.doomed, t.ID)
+	sh := c.txnShardFor(t.ID)
+	sh.mu.Lock()
+	if _, ok := sh.active[t.ID]; !ok {
+		c.activeN.Add(1)
+	}
+	sh.active[t.ID] = t
+	sh.mu.Unlock()
+	t.ClearDoom()
 }
 
-// Finish unregisters t after commit or abort.
+// Finish unregisters t after commit or abort, removing it from the
+// conflict sets of every object it touched. It must be called before
+// the transaction's workspace is discarded or reset.
 func (c *Controller) Finish(t *txn.Transaction) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.active, t.ID)
-	delete(c.doomed, t.ID)
+	sh := c.txnShardFor(t.ID)
+	sh.mu.Lock()
+	if _, ok := sh.active[t.ID]; ok {
+		delete(sh.active, t.ID)
+		c.activeN.Add(-1)
+	}
+	sh.mu.Unlock()
+	for _, re := range t.ReadSet() {
+		osh := c.objShardFor(re.ID)
+		osh.mu.Lock()
+		if os := osh.objects[re.ID]; os != nil {
+			delete(os.readers, t.ID)
+			osh.freeIfIdle(re.ID, os)
+		}
+		osh.mu.Unlock()
+	}
+	for _, id := range t.WriteIDs() {
+		osh := c.objShardFor(id)
+		osh.mu.Lock()
+		if os := osh.objects[id]; os != nil {
+			delete(os.writers, t.ID)
+			osh.freeIfIdle(id, os)
+		}
+		osh.mu.Unlock()
+	}
+	t.ClearDoom()
 }
 
 // Doomed reports whether t has been marked for restart by another
-// transaction's validation, along with the reason. Engines should poll
-// this at operation boundaries.
+// transaction's validation, along with the reason. Engines poll this at
+// operation boundaries; it is a single atomic load.
 func (c *Controller) Doomed(t *txn.Transaction) (txn.AbortReason, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.doomed[t.ID]
-	return r, ok
+	return t.DoomState()
 }
 
-// OnRead gives the protocol a chance to react to t reading object id
-// whose observed write timestamp is wts. It reports false if the
-// transaction is now doomed and should restart without further work.
+// OnRead registers that t read object id, observing write timestamp
+// wts. It reports false if the transaction is now doomed and should
+// restart without further work. Registration is what a later
+// validator's conflict scan sees, so every recorded read must be
+// registered here before the transaction validates.
 func (c *Controller) OnRead(t *txn.Transaction, id store.ObjectID, wts uint64) bool {
-	if c.kind != TI {
+	if c.kind == BC {
 		return true
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dead := c.doomed[t.ID]; dead {
+	if c.kind == TI {
+		if _, dead := t.DoomState(); dead {
+			return false
+		}
+		t.RaiseLow(wts + 1)
+		if t.IntervalEmpty() {
+			c.n.accessRestarts.Add(1)
+			t.MarkDoomed(txn.Conflict)
+			return false
+		}
+	}
+	sh := c.objShardFor(id)
+	sh.mu.Lock()
+	os := sh.objects[id]
+	if os != nil {
+		if _, already := os.readers[t.ID]; already {
+			// Re-registration: t has been in this object's conflict set
+			// since its first read, so every writer accepted since then
+			// adjusted t's interval. Nothing to re-check.
+			sh.mu.Unlock()
+			return true
+		}
+	}
+	// First-time-registration guard: if a writer of this object was
+	// accepted after t read it but before this registration, t missed
+	// that writer's interval adjustment and its read may already be
+	// stale. The overlay covers writers whose apply is still in flight;
+	// the store's item timestamp covers writers that have fully applied
+	// (reading it under the shard mutex orders it after any overlay
+	// retirement). Dooming is conservative but the window only exists
+	// under concurrency — sequentially the store matches wts exactly.
+	if os != nil && (os.committedWrite > wts || os.committedDelete > wts) {
+		sh.mu.Unlock()
+		if t.MarkDoomed(txn.Conflict) {
+			c.n.accessRestarts.Add(1)
+		}
 		return false
 	}
-	if wts+1 > t.TSLow {
-		t.TSLow = wts + 1
-	}
-	if t.TSLow > t.TSHigh {
-		c.stats.AccessRestarts++
-		c.doomed[t.ID] = txn.Conflict
+	if _, dbwts, ok := c.db.Timestamps(id); !ok || dbwts > wts {
+		sh.mu.Unlock()
+		if t.MarkDoomed(txn.Conflict) {
+			c.n.accessRestarts.Add(1)
+		}
 		return false
 	}
+	if os == nil {
+		os = sh.ensure(id)
+	}
+	if os.readers == nil {
+		os.readers = make(map[txn.ID]*txn.Transaction)
+	}
+	os.readers[t.ID] = t
+	sh.mu.Unlock()
 	return true
 }
 
-// OnWrite gives the protocol a chance to react to t staging a write of
-// object id. It reports false if the transaction is now doomed.
+// OnWrite registers that t staged a write (or delete) of object id. It
+// reports false if the transaction is now doomed. As with OnRead, the
+// registration feeds later validators' conflict scans.
 func (c *Controller) OnWrite(t *txn.Transaction, id store.ObjectID) bool {
-	if c.kind != TI {
+	if c.kind == BC {
 		return true
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dead := c.doomed[t.ID]; dead {
-		return false
-	}
-	rts, wts, del, ok := c.db.ReadInfo(id)
-	if del+1 > t.TSLow {
-		t.TSLow = del + 1
-	}
-	if ok {
-		if rts+1 > t.TSLow {
-			t.TSLow = rts + 1
+	if c.kind == TI {
+		if _, dead := t.DoomState(); dead {
+			return false
 		}
-		if wts+1 > t.TSLow {
-			t.TSLow = wts + 1
+		rts, wts, del, ok := c.db.ReadInfo(id)
+		t.RaiseLow(del + 1)
+		if ok {
+			t.RaiseLow(rts + 1)
+			t.RaiseLow(wts + 1)
+		}
+		if t.IntervalEmpty() {
+			c.n.accessRestarts.Add(1)
+			t.MarkDoomed(txn.Conflict)
+			return false
 		}
 	}
-	if t.TSLow > t.TSHigh {
-		c.stats.AccessRestarts++
-		c.doomed[t.ID] = txn.Conflict
-		return false
+	sh := c.objShardFor(id)
+	sh.mu.Lock()
+	os := sh.ensure(id)
+	if os.writers == nil {
+		os.writers = make(map[txn.ID]*txn.Transaction)
 	}
+	os.writers[t.ID] = t
+	sh.mu.Unlock()
 	return true
 }
 
-// Validate atomically validates t and, on success, applies its deferred
-// writes to the database, assigns its commit timestamp and serial
-// (validation) order, and adjusts conflicting active transactions.
+// Validate atomically validates t and, on success, assigns its commit
+// timestamp and serial (validation) order, adjusts conflicting active
+// transactions, and applies its deferred writes to the database. The
+// acceptance decision and all interval adjustments happen under the
+// serial ticket; only the write phase itself runs outside it, covered
+// by the committed-timestamp overlay until it completes.
 //
 // On failure (Result.OK == false) the engine must restart or abort t.
 // On success the engine must restart every transaction in Result.Victims.
 func (c *Controller) Validate(t *txn.Transaction) Result {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Validations++
+	c.n.validations.Add(1)
 
-	if _, dead := c.doomed[t.ID]; dead {
-		delete(c.doomed, t.ID)
-		c.stats.SelfRestarts++
+	if _, dead := t.DoomState(); dead {
+		t.ClearDoom()
+		c.n.selfRestarts.Add(1)
 		return Result{}
 	}
 
@@ -305,122 +532,276 @@ func (c *Controller) Validate(t *txn.Transaction) Result {
 // validateBC is classic backward validation: reject the validating
 // transaction if any item it read has been overwritten since.
 func (c *Controller) validateBC(t *txn.Transaction) Result {
+	c.mu.Lock()
 	for _, re := range t.ReadSet() {
 		_, wts, ok := c.db.Timestamps(re.ID)
 		// A read-set item that has vanished was deleted since the read
 		// — as much an invalidation as an overwrite.
 		if !ok || wts != re.WriteTS {
-			c.stats.SelfRestarts++
+			c.mu.Unlock()
+			c.n.selfRestarts.Add(1)
+			return Result{}
+		}
+		// A committed overwrite or delete whose apply is still in
+		// flight invalidates the read just the same.
+		sh := c.objShardFor(re.ID)
+		sh.mu.Lock()
+		os := sh.objects[re.ID]
+		stale := os != nil && (os.committedWrite > re.WriteTS || os.committedDelete > re.WriteTS)
+		sh.mu.Unlock()
+		if stale {
+			c.mu.Unlock()
+			c.n.selfRestarts.Add(1)
 			return Result{}
 		}
 	}
 	ts := c.maxTS + 1
-	c.commitLocked(t, ts)
+	c.publishOverlay(t, ts)
+	c.commitTicket(t, ts)
+	c.mu.Unlock()
+
+	c.applyAndRetire(t, ts)
 	return Result{OK: true}
 }
 
 // validateInterval implements the shared interval machinery for DA, TI
 // and DATI.
 func (c *Controller) validateInterval(t *txn.Transaction) Result {
-	lo, hi := t.TSLow, t.TSHigh
-	if c.tsFloor+1 > lo {
-		lo = c.tsFloor + 1
-	}
-
-	// Serialize after every committed writer whose value t read.
+	// Serialize after every committed writer whose value t read. This
+	// uses only the transaction's own read set, so it needs no lock.
+	var lo uint64
 	for _, re := range t.ReadSet() {
 		if re.WriteTS+1 > lo {
 			lo = re.WriteTS + 1
 		}
 	}
+
+	c.mu.Lock()
+	// A victim adjustment may have landed between the entry check and
+	// taking the ticket; decisions made past this point are stable
+	// because all dooming of other transactions happens under it.
+	if _, dead := t.DoomState(); dead {
+		c.mu.Unlock()
+		t.ClearDoom()
+		c.n.selfRestarts.Add(1)
+		return Result{}
+	}
+	if c.tsFloor+1 > lo {
+		lo = c.tsFloor + 1
+	}
 	// Serialize after every committed reader and writer of items t
 	// writes. A transactionally deleted item keeps its deletion
 	// timestamp as a tombstone: a re-creating writer must serialize
 	// after the deletion (which itself serialized after every reader
-	// and writer the item had).
+	// and writer the item had). The overlay folds in committed
+	// transactions whose write phase has not yet reached the store.
 	for _, id := range t.WriteIDs() {
 		rts, wts, del, ok := c.db.ReadInfo(id)
 		if del+1 > lo {
 			lo = del + 1
 		}
-		if !ok {
-			continue // brand-new object: unconstrained beyond its tombstone
+		if ok {
+			if rts+1 > lo {
+				lo = rts + 1
+			}
+			if wts+1 > lo {
+				lo = wts + 1
+			}
 		}
-		if rts+1 > lo {
-			lo = rts + 1
+		sh := c.objShardFor(id)
+		sh.mu.Lock()
+		if os := sh.objects[id]; os != nil {
+			if os.committedRead+1 > lo {
+				lo = os.committedRead + 1
+			}
+			if os.committedWrite+1 > lo {
+				lo = os.committedWrite + 1
+			}
+			if os.committedDelete+1 > lo {
+				lo = os.committedDelete + 1
+			}
 		}
-		if wts+1 > lo {
-			lo = wts + 1
-		}
+		sh.mu.Unlock()
+	}
+	tlo, hi := t.Interval()
+	if tlo > lo {
+		lo = tlo
 	}
 	if lo > hi {
-		c.stats.SelfRestarts++
+		c.mu.Unlock()
+		c.n.selfRestarts.Add(1)
 		return Result{}
 	}
 
 	ts, ok := c.pickTimestamp(lo, hi)
 	if !ok {
-		c.stats.SelfRestarts++
+		c.mu.Unlock()
+		c.n.selfRestarts.Add(1)
 		return Result{}
 	}
 
-	// Forward adjustment of conflicting active transactions.
-	var victims []*txn.Transaction
-	for _, u := range c.active {
-		if u.ID == t.ID {
-			continue
-		}
-		if _, dead := c.doomed[u.ID]; dead {
-			continue
-		}
-		precede, follow := conflict(t, u)
-		if !precede && !follow {
-			continue
-		}
-		if precede && ts-1 < u.TSHigh {
-			u.TSHigh = ts - 1
-			c.stats.IntervalAdjusts++
-		}
-		if follow && ts+1 > u.TSLow {
-			u.TSLow = ts + 1
-			c.stats.IntervalAdjusts++
-		}
-		if u.TSLow > u.TSHigh {
-			c.doomed[u.ID] = txn.Conflict
-			c.stats.VictimRestarts++
-			victims = append(victims, u)
-		}
-	}
+	victims := c.adjustConflicting(t, ts)
+	c.commitTicket(t, ts)
+	c.mu.Unlock()
 
-	c.commitLocked(t, ts)
+	c.applyAndRetire(t, ts)
 	return Result{OK: true, Victims: victims}
 }
 
-// conflict classifies the conflicts between validating t and active u:
-// precede means u must serialize before t (u read an item t overwrites);
-// follow means u must serialize after t (u writes an item t read or
-// wrote).
-func conflict(t, u *txn.Transaction) (precede, follow bool) {
-	for _, id := range t.WriteIDs() {
-		if u.ReadsObject(id) {
-			precede = true
-		}
-		if u.WritesObject(id) {
-			follow = true
-		}
-		if precede && follow {
+// adjustConflicting publishes t's acceptance at timestamp ts into the
+// object overlay and performs the forward adjustment of conflicting
+// active transactions. Conflicts are collected per object from the
+// shard conflict sets, then applied per transaction so each conflicting
+// active receives both of its direction constraints before its interval
+// is checked for emptiness — the same order as a per-active scan of the
+// full registry, at per-shard cost. Caller holds the ticket.
+func (c *Controller) adjustConflicting(t *txn.Transaction, ts uint64) []*txn.Transaction {
+	adj := c.adjTxns[:0]
+	note := func(u *txn.Transaction, precede bool) {
+		if u.ID == t.ID {
 			return
 		}
-	}
-	for _, re := range t.ReadSet() {
-		if u.WritesObject(re.ID) {
-			follow = true
-			if precede {
-				return
-			}
+		i, seen := c.adjIdx[u.ID]
+		if !seen {
+			i = len(adj)
+			adj = append(adj, adjEntry{u: u})
+			c.adjIdx[u.ID] = i
+		}
+		if precede {
+			adj[i].precede = true
+		} else {
+			adj[i].follow = true
 		}
 	}
-	return
+	for _, id := range t.WriteIDs() {
+		sh := c.objShardFor(id)
+		sh.mu.Lock()
+		os := sh.ensure(id)
+		if t.IsDelete(id) {
+			if ts > os.committedDelete {
+				os.committedDelete = ts
+			}
+		} else {
+			if ts > os.committedWrite {
+				os.committedWrite = ts
+			}
+		}
+		for _, u := range os.readers {
+			note(u, true)
+		}
+		for _, u := range os.writers {
+			note(u, false)
+		}
+		sh.mu.Unlock()
+	}
+	for _, re := range t.ReadSet() {
+		sh := c.objShardFor(re.ID)
+		sh.mu.Lock()
+		os := sh.ensure(re.ID)
+		if ts > os.committedRead {
+			os.committedRead = ts
+		}
+		for _, u := range os.writers {
+			note(u, false)
+		}
+		sh.mu.Unlock()
+	}
+
+	var victims []*txn.Transaction
+	for i := range adj {
+		u := adj[i].u
+		delete(c.adjIdx, u.ID)
+		if _, dead := u.DoomState(); dead {
+			continue
+		}
+		if adj[i].precede && u.LowerHigh(ts-1) {
+			c.n.intervalAdjusts.Add(1)
+		}
+		if adj[i].follow && u.RaiseLow(ts+1) {
+			c.n.intervalAdjusts.Add(1)
+		}
+		if u.IntervalEmpty() && u.MarkDoomed(txn.Conflict) {
+			c.n.victimRestarts.Add(1)
+			victims = append(victims, u)
+		}
+	}
+	c.adjTxns = adj
+	return victims
+}
+
+// publishOverlay records t's acceptance at ts in the object overlay
+// without adjusting anyone — the BC path, which registers no actives.
+// Caller holds the ticket.
+func (c *Controller) publishOverlay(t *txn.Transaction, ts uint64) {
+	for _, id := range t.WriteIDs() {
+		sh := c.objShardFor(id)
+		sh.mu.Lock()
+		os := sh.ensure(id)
+		if t.IsDelete(id) {
+			if ts > os.committedDelete {
+				os.committedDelete = ts
+			}
+		} else {
+			if ts > os.committedWrite {
+				os.committedWrite = ts
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, re := range t.ReadSet() {
+		sh := c.objShardFor(re.ID)
+		sh.mu.Lock()
+		os := sh.ensure(re.ID)
+		if ts > os.committedRead {
+			os.committedRead = ts
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// applyAndRetire runs the write phase outside the ticket, then retires
+// t's overlay entries (the store's item timestamps now subsume them)
+// and releases the pending-apply count that WithFrozen waits on.
+func (c *Controller) applyAndRetire(t *txn.Transaction, ts uint64) {
+	t.ApplyWrites(c.db)
+
+	for _, id := range t.WriteIDs() {
+		sh := c.objShardFor(id)
+		sh.mu.Lock()
+		if os := sh.objects[id]; os != nil {
+			// Only retire our own publication: a later accepted writer
+			// may have raised the overlay past ts, and its window is
+			// still open.
+			if t.IsDelete(id) {
+				if os.committedDelete == ts {
+					os.committedDelete = 0
+				}
+			} else if os.committedWrite == ts {
+				os.committedWrite = 0
+			}
+			sh.freeIfIdle(id, os)
+		}
+		sh.mu.Unlock()
+	}
+	for _, re := range t.ReadSet() {
+		sh := c.objShardFor(re.ID)
+		sh.mu.Lock()
+		if os := sh.objects[re.ID]; os != nil {
+			if os.committedRead == ts {
+				os.committedRead = 0
+			}
+			sh.freeIfIdle(re.ID, os)
+		}
+		sh.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	c.pendingApply--
+	if c.pendingApply == 0 {
+		c.applyIdle.Broadcast()
+	}
+	c.mu.Unlock()
+	c.n.commits.Add(1)
 }
 
 // tsGap is the spacing between freshly allocated commit timestamps.
@@ -434,7 +815,7 @@ const tsGap = 1 << 16
 // transactions squeeze into the gap (earliest slot for DATI/TI, latest
 // for DA); unconstrained ones take a fresh gap-spaced slot — the earliest
 // feasible one for DATI/TI, the next after all issued timestamps
-// (validation order) for DA.
+// (validation order) for DA. Caller holds the ticket.
 func (c *Controller) pickTimestamp(lo, hi uint64) (uint64, bool) {
 	if hi == math.MaxUint64 {
 		ts := nextGapSlot(lo)
@@ -479,9 +860,11 @@ func nextGapSlot(v uint64) uint64 { return (v/tsGap + 1) * tsGap }
 // a rare, bounded hiccup traded for bounded memory on long-lived nodes.
 const maxUsedTS = 1 << 17
 
-// commitLocked finalizes an accepted validation: assigns timestamps,
-// applies the write phase and stamps item read timestamps.
-func (c *Controller) commitLocked(t *txn.Transaction, ts uint64) {
+// commitTicket finalizes an accepted validation under the ticket:
+// records the timestamp, assigns the serial order and opens the
+// pending-apply window. The write phase itself runs after the ticket is
+// released.
+func (c *Controller) commitTicket(t *txn.Transaction, ts uint64) {
 	c.usedTS[ts] = struct{}{}
 	if ts > c.maxTS {
 		c.maxTS = ts
@@ -495,6 +878,5 @@ func (c *Controller) commitLocked(t *txn.Transaction, ts uint64) {
 	c.nextSerial++
 	t.CommitTS = ts
 	t.SerialOrder = c.nextSerial
-	t.ApplyWrites(c.db)
-	c.stats.Commits++
+	c.pendingApply++
 }

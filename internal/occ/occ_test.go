@@ -582,9 +582,7 @@ func TestBeginClearsStaleDoom(t *testing.T) {
 	c, _ := newController(DATI)
 	tx := txn.New(1, txn.Firm, 0, txn.NoDeadline)
 	c.Begin(tx)
-	c.mu.Lock()
-	c.doomed[tx.ID] = txn.Conflict
-	c.mu.Unlock()
+	tx.MarkDoomed(txn.Conflict)
 	c.Begin(tx) // re-begin after restart must clear the doom marker
 	if _, dead := c.Doomed(tx); dead {
 		t.Fatal("Begin did not clear doom marker")

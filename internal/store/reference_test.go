@@ -67,8 +67,8 @@ func (s *lockedStore) applyLocked(id ObjectID, value []byte, commitTS uint64) {
 		it = &item{}
 		s.items[id] = it
 	}
-	it.value = cloneBytes(value)
-	if commitTS > it.writeTS {
+	if commitTS >= it.writeTS {
+		it.value = cloneBytes(value)
 		it.writeTS = commitTS
 	}
 }

@@ -232,7 +232,12 @@ func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
 	st.mu.Unlock()
 }
 
-// apply is Apply with the stripe lock held.
+// apply is Apply with the stripe lock held. Writes install in
+// timestamp order regardless of arrival order: when validated write
+// phases run concurrently, a transaction with a lower commit timestamp
+// may reach the stripe after one with a higher timestamp, and its
+// after image must not clobber the newer value (last-writer-wins by
+// commitTS, mirroring applyDelete's tombstone check).
 func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
 	if st.deleted[id] > commitTS {
 		return // deleted by a newer transaction; do not resurrect
@@ -242,8 +247,8 @@ func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
 		it = &item{}
 		st.items[id] = it
 	}
-	it.value = cloneBytes(value)
-	if commitTS > it.writeTS {
+	if commitTS >= it.writeTS {
+		it.value = cloneBytes(value)
 		it.writeTS = commitTS
 	}
 }

@@ -68,6 +68,12 @@ func TestApplyAdvancesWriteTS(t *testing.T) {
 	if wts != 10 {
 		t.Fatalf("writeTS regressed to %d", wts)
 	}
+	// ... nor clobber the newer value: write phases of concurrently
+	// validated transactions may reach the stripe out of timestamp
+	// order, and the store keeps last-writer-wins by commitTS.
+	if v, _ := s.Get(1); string(v) != "v1" {
+		t.Fatalf("stale apply installed %q over newer value", v)
+	}
 }
 
 func TestApplyInsertsMissing(t *testing.T) {

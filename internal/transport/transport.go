@@ -256,6 +256,13 @@ func (c *Conn) SendControl(t MsgType, serial uint64) error {
 	return c.Send(&m)
 }
 
+// Buffered reports how many received bytes are waiting in the read
+// buffer — data already delivered to this side but not yet consumed by
+// Recv. A receive loop can use it to tell "more of this batch is
+// already here" (> 0) from "the wire is drained for now" (== 0), e.g.
+// to coalesce acknowledgments across a burst of frames.
+func (c *Conn) Buffered() int { return c.br.Buffered() }
+
 // SetRecvDeadline sets a read deadline on the underlying stream, when it
 // supports one (net.Conn does; net.Pipe does too). It reports whether a
 // deadline could be set. A zero time clears the deadline.

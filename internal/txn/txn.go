@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/simtime"
 	"repro/internal/store"
@@ -140,7 +141,8 @@ type ReadEntry struct {
 
 // Transaction is one RODAIN transaction. It is owned by a single worker
 // goroutine (or the simulation loop) at any moment and is not internally
-// synchronized.
+// synchronized, with two exceptions shared with concurrent validators:
+// the timestamp interval bounds and the doomed flag, which are atomics.
 type Transaction struct {
 	ID          ID
 	Class       Class
@@ -156,9 +158,18 @@ type Transaction struct {
 
 	// Timestamp interval for OCC-TI/OCC-DATI dynamic adjustment of the
 	// serialization order. The final timestamp is chosen inside
-	// [TSLow, TSHigh]; an empty interval (TSLow > TSHigh) means the
-	// transaction must restart.
-	TSLow, TSHigh uint64
+	// [tsLow, tsHigh]; an empty interval (tsLow > tsHigh) means the
+	// transaction must restart. The bounds are atomics because a
+	// concurrent validator may adjust another transaction's interval
+	// while its owner goroutine is running: the low bound only ever
+	// rises and the high bound only ever falls while the transaction is
+	// active, so CAS-max/CAS-min keep both monotonic without a lock.
+	tsLow, tsHigh atomic.Uint64
+
+	// doom holds the pending abort reason (NoAbort when healthy). A
+	// validator dooms a victim by CAS-ing NoAbort→reason, so exactly one
+	// doomer wins; the owner polls it lock-free between operations.
+	doom atomic.Int64
 
 	// CommitTS is the final serialization timestamp assigned at
 	// successful validation.
@@ -181,17 +192,85 @@ type Transaction struct {
 // New returns a transaction in the Created state. deadline is absolute
 // virtual time; pass NoDeadline for none.
 func New(id ID, class Class, arrival, deadline simtime.Time) *Transaction {
-	return &Transaction{
+	t := &Transaction{
 		ID:         id,
 		Class:      class,
 		Arrival:    arrival,
 		Deadline:   deadline,
-		TSLow:      1,
-		TSHigh:     math.MaxUint64,
 		readIndex:  make(map[store.ObjectID]int),
 		writes:     make(map[store.ObjectID][]byte),
 		tombstones: make(map[store.ObjectID]bool),
 	}
+	t.tsLow.Store(1)
+	t.tsHigh.Store(math.MaxUint64)
+	return t
+}
+
+// Interval returns the current timestamp interval bounds.
+func (t *Transaction) Interval() (lo, hi uint64) {
+	return t.tsLow.Load(), t.tsHigh.Load()
+}
+
+// SetInterval forcibly sets both interval bounds. It is only safe while
+// no concurrent adjuster can touch the transaction (construction,
+// restart, tests).
+func (t *Transaction) SetInterval(lo, hi uint64) {
+	t.tsLow.Store(lo)
+	t.tsHigh.Store(hi)
+}
+
+// RaiseLow raises the interval low bound to v if v is larger
+// (CAS-max). It reports whether the bound actually moved.
+func (t *Transaction) RaiseLow(v uint64) bool {
+	for {
+		cur := t.tsLow.Load()
+		if v <= cur {
+			return false
+		}
+		if t.tsLow.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// LowerHigh lowers the interval high bound to v if v is smaller
+// (CAS-min). It reports whether the bound actually moved.
+func (t *Transaction) LowerHigh(v uint64) bool {
+	for {
+		cur := t.tsHigh.Load()
+		if v >= cur {
+			return false
+		}
+		if t.tsHigh.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// IntervalEmpty reports whether the timestamp interval has shut
+// (low > high), meaning the transaction cannot be serialized and must
+// restart.
+func (t *Transaction) IntervalEmpty() bool {
+	return t.tsLow.Load() > t.tsHigh.Load()
+}
+
+// MarkDoomed requests an abort with the given reason. Only the first
+// doomer wins (CAS NoAbort→reason); it reports whether this call was
+// the one that doomed the transaction. reason must not be NoAbort.
+func (t *Transaction) MarkDoomed(reason AbortReason) bool {
+	return t.doom.CompareAndSwap(int64(NoAbort), int64(reason))
+}
+
+// DoomState returns the pending abort reason, if any. It is lock-free
+// and allocation-free: the per-operation Doomed poll rides on it.
+func (t *Transaction) DoomState() (AbortReason, bool) {
+	r := AbortReason(t.doom.Load())
+	return r, r != NoAbort
+}
+
+// ClearDoom resets the pending abort reason (begin / restart).
+func (t *Transaction) ClearDoom() {
+	t.doom.Store(int64(NoAbort))
 }
 
 // HasDeadline reports whether the transaction carries a deadline.
@@ -363,7 +442,9 @@ func (t *Transaction) DiscardWrites() {
 // firm transaction still has to finish by its original deadline.
 func (t *Transaction) ResetForRestart() {
 	t.DiscardWrites()
-	t.TSLow, t.TSHigh = 1, math.MaxUint64
+	t.tsLow.Store(1)
+	t.tsHigh.Store(math.MaxUint64)
+	t.ClearDoom()
 	t.CommitTS = 0
 	t.State = Created
 	t.Reason = NoAbort

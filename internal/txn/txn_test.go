@@ -2,6 +2,7 @@ package txn
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -115,15 +116,20 @@ func TestDiscardWritesLeavesDBUntouched(t *testing.T) {
 
 func TestResetForRestart(t *testing.T) {
 	tx := New(1, Firm, 5, 1000)
-	tx.TSLow, tx.TSHigh = 10, 20
+	tx.SetInterval(10, 20)
+	tx.MarkDoomed(Conflict)
 	tx.CommitTS = 15
 	tx.State = Validating
 	tx.ResetForRestart()
 	if tx.Restarts != 1 {
 		t.Fatalf("Restarts = %d", tx.Restarts)
 	}
-	if tx.TSLow != 1 || tx.CommitTS != 0 || tx.State != Created {
+	lo, hi := tx.Interval()
+	if lo != 1 || hi != math.MaxUint64 || tx.CommitTS != 0 || tx.State != Created {
 		t.Fatalf("restart did not reset: %+v", tx)
+	}
+	if _, doomed := tx.DoomState(); doomed {
+		t.Fatal("restart must clear the doomed flag")
 	}
 	if tx.Arrival != 5 || tx.Deadline != 1000 {
 		t.Fatal("restart must keep arrival and deadline")
