@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, shipscaling, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -113,6 +113,27 @@ func main() {
 		fmt.Println()
 	}
 
+	runShipScaling := func() {
+		txns := 20000
+		fsyncTxns := 4000
+		if *quick {
+			txns = 4000
+			fsyncTxns = 1000
+		}
+		rs, err := experiments.ShipScaling(txns, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.ShipScalingTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+		fs, err := experiments.TransientFsync(fsyncTxns, []int{1, 2, 4, 8, 16}, 100*time.Microsecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.TransientFsyncTable(fs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runAblations := func() {
 		experiments.ProtocolAblation(opts).Fprint(os.Stdout)
 		fmt.Println()
@@ -140,6 +161,7 @@ func main() {
 		runTakeover()
 		runRecoveryScaling()
 		runOCCScaling()
+		runShipScaling()
 		runAblations()
 		runTimeline()
 	case "takeover":
@@ -148,6 +170,8 @@ func main() {
 		runRecoveryScaling()
 	case "occscaling", "occ-scaling", "occ":
 		runOCCScaling()
+	case "shipscaling", "ship-scaling", "ship":
+		runShipScaling()
 	case "ablations", "ablation":
 		runAblations()
 	case "timeline", "failover":

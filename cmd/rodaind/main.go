@@ -43,7 +43,9 @@ func main() {
 		recWorkers = flag.Int("recover-workers", 0, "parallel log-replay workers (0 = one per CPU, <0 = sequential)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write periodic checkpoints here (and truncate the log)")
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -checkpoint-dir is set")
-		groupWin   = flag.Duration("group-commit", 0, "batch disk commits within this window (0 = sync per commit, the paper's behaviour)")
+		groupWin   = flag.Duration("group-commit", 0, "legacy fixed-window disk batching (0 = adaptive leader/follower group fsync)")
+		maxCohort  = flag.Int("max-cohort", 0, "max transactions per group-commit cohort (0 = default 64)")
+		cohortHold = flag.Duration("cohort-hold", 0, "max adaptive hold for group-commit stragglers (0 = default 200µs, <0 = off)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 		Protocol:          *protocol,
 		Workers:           *workers,
 		GroupCommitWindow: *groupWin,
+		MaxCohort:         *maxCohort,
+		MaxCohortHold:     *cohortHold,
 		RecoverWorkers:    *recWorkers,
 	}
 	switch *durability {

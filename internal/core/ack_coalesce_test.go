@@ -18,7 +18,11 @@ func TestShipperCumulativeAckReleasesAll(t *testing.T) {
 	const n = 3
 	a, b := transport.Pipe()
 	var failed atomic.Bool
-	s := NewMirrorShipper(a, 1, 5*time.Second, 20*time.Millisecond, func() { failed.Store(true) })
+	s := NewMirrorShipper(a, 1, ShipperOptions{
+		AckTimeout: 5 * time.Second,
+		Heartbeat:  20 * time.Millisecond,
+		OnFailure:  func() { failed.Store(true) },
+	})
 	s.Start()
 	t.Cleanup(func() {
 		s.Close()

@@ -24,7 +24,11 @@ func BenchmarkShipperAllocs(b *testing.B) {
 	fm := &fakeMirror{conn: c}
 	go fm.run()
 	var failed atomic.Bool
-	s := NewMirrorShipper(a, 1, time.Second, 20*time.Millisecond, func() { failed.Store(true) })
+	s := NewMirrorShipper(a, 1, ShipperOptions{
+		AckTimeout: time.Second,
+		Heartbeat:  20 * time.Millisecond,
+		OnFailure:  func() { failed.Store(true) },
+	})
 	s.Start()
 	defer func() {
 		s.Close()
@@ -128,7 +132,7 @@ func BenchmarkEngineParallel(b *testing.B) {
 						db.Put(store.ObjectID(i), []byte{0, 0, 0, 0})
 					}
 					e := NewEngine(Config{Workers: workers, MaxRestarts: 100},
-						db, buildCommitter(logMode, nil, 0), logMode)
+						db, buildCommitter(logMode, nil, Config{}.withDefaults()), logMode)
 					defer e.Stop()
 					var committed atomic.Uint64
 					val := []byte{1, 2, 3, 4}
@@ -175,5 +179,116 @@ func BenchmarkEngineParallel(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkGroupCommit compares cohort-batched shipping against strict
+// per-transaction shipping through the full Log Writer → wire → mirror →
+// cumulative-ack loop, as the concurrent committer count grows. The
+// grouped mode amortizes the encode pass and the transport flush across
+// the cohort, so at high committer counts its commits/sec should pull
+// clearly ahead of mode=pertxn (the acceptance criterion at 8+).
+func BenchmarkGroupCommit(b *testing.B) {
+	modes := []struct {
+		name string
+		opts ShipperOptions
+	}{
+		{"grouped", ShipperOptions{
+			AckTimeout: 10 * time.Second, Heartbeat: 50 * time.Millisecond,
+			MaxCohort: DefaultMaxCohort, MaxHold: DefaultMaxCohortHold,
+		}},
+		{"pertxn", ShipperOptions{
+			AckTimeout: 10 * time.Second, Heartbeat: 50 * time.Millisecond,
+			MaxCohort: 1, // one group per wire batch, no hold
+		}},
+	}
+	img := make([]byte, 64)
+	for _, mode := range modes {
+		for _, committers := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("mode=%s/committers=%d", mode.name, committers), func(b *testing.B) {
+				s, _, stop := mirrorPairShipper(b, mode.opts)
+				defer stop()
+				var next atomic.Uint64
+				var wg sync.WaitGroup
+				b.ReportAllocs()
+				b.ResetTimer()
+				for w := 0; w < committers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							serial := next.Add(1)
+							if serial > uint64(b.N) {
+								return
+							}
+							g := &wal.Group{
+								Writes: []*wal.Record{
+									{Type: wal.TypeWrite, TxnID: txn.ID(serial), ObjectID: store.ObjectID(serial % 128), AfterImage: img},
+									{Type: wal.TypeWrite, TxnID: txn.ID(serial), ObjectID: store.ObjectID((serial + 1) % 128), AfterImage: img},
+								},
+								Commit: &wal.Record{Type: wal.TypeCommit, TxnID: txn.ID(serial), SerialOrder: serial, CommitTS: serial * 65536},
+							}
+							if err := s.Commit(g); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "commits/sec")
+				st := s.Stats()
+				if st.Cohorts > 0 {
+					b.ReportMetric(float64(st.GroupsShipped)/float64(st.Cohorts), "groups/batch")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTransientFsync compares the leader/follower group-fsync
+// committer against the per-commit-sync DiskCommitter over a device with
+// a realistic sync latency. syncs/commit should drop well below 1 in
+// group mode under 8 committers — the transient primary takes the disk
+// off the per-transaction critical path.
+func BenchmarkTransientFsync(b *testing.B) {
+	const committers = 8
+	for _, mode := range []string{"group", "persync"} {
+		b.Run(fmt.Sprintf("mode=%s/committers=%d", mode, committers), func(b *testing.B) {
+			mem := logstore.NewMem()
+			slow := logstore.NewDelayed(mem, 50*time.Microsecond)
+			var c Committer
+			if mode == "group" {
+				c = NewGroupCommitter(slow, GroupOptions{})
+			} else {
+				c = NewDiskCommitter(slow, 0)
+			}
+			defer c.Close()
+			var next atomic.Uint64
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for w := 0; w < committers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						serial := next.Add(1)
+						if serial > uint64(b.N) {
+							return
+						}
+						if err := c.Commit(diskGroup(serial)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "commits/sec")
+			b.ReportMetric(float64(mem.Stats().Syncs)/float64(b.N), "syncs/commit")
+		})
 	}
 }

@@ -35,6 +35,10 @@ type CommitterStats struct {
 	Commits uint64
 	Syncs   uint64
 	Bytes   uint64
+	// Cohorts is the number of group-commit cohorts synced and MaxCohort
+	// the largest one; committers without cohorts leave them zero.
+	Cohorts   uint64
+	MaxCohort uint64
 }
 
 // NewDiskCommitter returns a committer over log. window > 0 enables

@@ -136,10 +136,23 @@ type Config struct {
 	NonRTReserve float64
 	// Overload configures the overload manager.
 	Overload sched.OverloadConfig
-	// GroupCommitWindow batches concurrent disk commits into one sync
-	// when > 0. Zero syncs once per committing transaction (the
-	// paper's behaviour).
+	// GroupCommitWindow selects the legacy fixed-sleep disk committer
+	// when > 0: every commit cohort holds for the whole window before
+	// one sync (the ablation DESIGN §8 documents). Zero uses the
+	// leader/follower group-fsync committer, which syncs immediately
+	// when idle and batches naturally under load.
 	GroupCommitWindow time.Duration
+	// MaxCohort caps how many committing transactions one group-commit
+	// cohort may carry: a single wire batch to the mirror in shipping
+	// mode, or one vectored AppendBatch + Sync in transient mode
+	// (default 64).
+	MaxCohort int
+	// MaxCohortHold bounds the adaptive hold window group commit may
+	// wait for stragglers: the shipper holds a cohort open across a
+	// serial gap, and the transient-mode fsync leader holds under
+	// sustained contention. Zero defaults to 200µs; negative disables
+	// holding entirely (ship/sync the moment a cohort is drainable).
+	MaxCohortHold time.Duration
 	// MirrorSyncEvery is how often the mirror syncs buffered log
 	// records to disk (asynchronously; default 50 ms). Zero keeps the
 	// default; negative disables mirror disk syncs.
@@ -197,17 +210,41 @@ func (c Config) withDefaults() Config {
 	if c.HeartbeatMisses <= 0 {
 		c.HeartbeatMisses = 3
 	}
+	if c.MaxCohort <= 0 {
+		c.MaxCohort = DefaultMaxCohort
+	}
+	if c.MaxCohortHold == 0 {
+		c.MaxCohortHold = DefaultMaxCohortHold
+	} else if c.MaxCohortHold < 0 {
+		c.MaxCohortHold = 0
+	}
 	if c.Clock == nil {
 		c.Clock = simtime.NewWallClock()
 	}
 	return c
 }
 
-// buildCommitter constructs the committer for a logging mode.
-func buildCommitter(mode LogMode, log logstore.Store, window time.Duration) Committer {
+// Group-commit defaults: cohorts big enough to amortize a flush or an
+// fsync across a burst, a hold window short enough to be invisible next
+// to a device sync or a network round trip.
+const (
+	DefaultMaxCohort     = 64
+	DefaultMaxCohortHold = 200 * time.Microsecond
+)
+
+// buildCommitter constructs the committer for a logging mode. cfg must
+// already have its defaults applied.
+func buildCommitter(mode LogMode, log logstore.Store, cfg Config) Committer {
 	switch mode {
 	case LogDisk:
-		return NewDiskCommitter(log, window)
+		if cfg.GroupCommitWindow > 0 {
+			return NewDiskCommitter(log, cfg.GroupCommitWindow)
+		}
+		return NewGroupCommitter(log, GroupOptions{
+			MaxCohort: cfg.MaxCohort,
+			MaxHold:   cfg.MaxCohortHold,
+			Clock:     cfg.Clock,
+		})
 	case LogDiscard:
 		return discardCommitter{}
 	case LogNone:

@@ -27,7 +27,7 @@ func newTestEngine(t *testing.T, cfg Config, mode LogMode) (*Engine, *store.Stor
 	case LogDisk:
 		c = NewDiskCommitter(mem, cfg.GroupCommitWindow)
 	default:
-		c = buildCommitter(mode, mem, 0)
+		c = buildCommitter(mode, mem, cfg.withDefaults())
 	}
 	e := NewEngine(cfg, db, c, mode)
 	t.Cleanup(e.Stop)

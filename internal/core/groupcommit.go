@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/logstore"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/wal"
+)
+
+// GroupCommitter is the transient-primary Log Writer with leader/follower
+// group fsync: committers append their encoded records into the open
+// cohort, and exactly one of them — the cohort leader — puts the whole
+// cohort on the device with one vectored AppendBatch and one Sync, on
+// behalf of every follower parked on the cohort latch.
+//
+// The batching window is the device itself: while a sync is in flight,
+// arriving committers pile into the next cohort, whose leader waits for
+// the device and then covers them all. When the committer is idle the
+// leader syncs immediately, so an uncontended commit pays exactly the
+// paper's one-sync cost; under load the sync amortizes across the cohort
+// and the disk leaves the per-transaction critical path — the same cost
+// the Mirror Node removes in normal mode, recovered without a second
+// machine. An optional adaptive hold (MaxHold, waited out on the
+// simtime.Clock so simulated runs stay deterministic) lets a leader that
+// already had to queue for the device linger briefly for stragglers.
+//
+// Durability is unchanged from the per-commit DiskCommitter: Commit
+// returns only after a Sync covering this transaction's records has
+// completed, so an acknowledged transaction is always recoverable.
+type GroupCommitter struct {
+	log   logstore.Store
+	clock simtime.Clock
+
+	maxCohort int
+	maxHold   time.Duration
+
+	mu         sync.Mutex
+	cond       *sync.Cond // wakes cohort leaders queueing for the device
+	cur        *fsyncCohort
+	syncing    bool
+	closed     bool
+	lastCohort int // size of the last completed cohort (contention signal)
+
+	stats CommitterStats
+	sizes metrics.IntDist
+	waits metrics.Histogram // append → sync-complete, per committer
+}
+
+// fsyncCohort accumulates the encoded records of the transactions that
+// will share one AppendBatch + Sync. done is the cohort latch: closed by
+// the leader once the covering sync has completed (or failed).
+type fsyncCohort struct {
+	arena []byte
+	ends  []int // arena end offset of each member's encoding
+	n     int
+	done  chan struct{}
+	err   error
+}
+
+// chunks slices the arena into one chunk per member for AppendBatch.
+// Only valid after the cohort is sealed (the arena no longer grows).
+func (c *fsyncCohort) chunks() [][]byte {
+	out := make([][]byte, len(c.ends))
+	start := 0
+	for i, end := range c.ends {
+		out[i] = c.arena[start:end]
+		start = end
+	}
+	return out
+}
+
+// GroupOptions parameterizes a GroupCommitter.
+type GroupOptions struct {
+	// MaxCohort caps how many transactions share one sync (default 64).
+	MaxCohort int
+	// MaxHold lets a leader that queued for the device hold the cohort
+	// open a little longer for stragglers. Zero disables holding.
+	MaxHold time.Duration
+	// Clock supplies the hold timer; nil uses the wall clock.
+	Clock simtime.Clock
+}
+
+// NewGroupCommitter returns a leader/follower group-fsync committer over
+// log.
+func NewGroupCommitter(log logstore.Store, opts GroupOptions) *GroupCommitter {
+	if opts.MaxCohort <= 0 {
+		opts.MaxCohort = DefaultMaxCohort
+	}
+	if opts.Clock == nil {
+		opts.Clock = simtime.NewWallClock()
+	}
+	g := &GroupCommitter{
+		log:       log,
+		clock:     opts.Clock,
+		maxCohort: opts.MaxCohort,
+		maxHold:   opts.MaxHold,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Commit implements Committer: join (or open) the current cohort, then
+// either lead its sync or wait on its latch.
+func (c *GroupCommitter) Commit(g *wal.Group) error {
+	start := c.clock.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrStopped
+	}
+	co := c.cur
+	lead := false
+	if co == nil || co.n >= c.maxCohort {
+		co = &fsyncCohort{done: make(chan struct{})}
+		c.cur = co
+		lead = true
+	}
+	co.arena = g.AppendEncoded(co.arena)
+	co.ends = append(co.ends, len(co.arena))
+	co.n++
+
+	if !lead {
+		// Follower: the cohort's leader syncs for us; park on the latch.
+		c.cond.Broadcast() // a holding leader re-checks its cohort size
+		c.mu.Unlock()
+		<-co.done
+		c.waits.Observe(c.clock.Now().Sub(start))
+		return co.err
+	}
+
+	// Leader. Queue for the device; followers join the cohort meanwhile.
+	waited := false
+	for c.syncing && !c.closed {
+		c.cond.Wait()
+		waited = true
+	}
+	if c.closed {
+		if c.cur == co {
+			c.cur = nil
+		}
+		c.mu.Unlock()
+		c.finish(co, ErrStopped)
+		return ErrStopped
+	}
+	// Adaptive hold: only when commits are actually overlapping — we
+	// queued behind a sync, or the previous cohort carried more than one
+	// transaction — and the cohort still has room. When idle this is
+	// skipped entirely and the commit syncs immediately.
+	if c.maxHold > 0 && co.n < c.maxCohort && (waited || c.lastCohort > 1) {
+		c.holdLocked(co)
+	}
+	c.syncing = true
+	if c.cur == co {
+		c.cur = nil // seal: later arrivals open the next cohort
+	}
+	chunks := co.chunks()
+	c.mu.Unlock()
+
+	err := c.log.AppendBatch(chunks)
+	if err == nil {
+		err = c.log.Sync()
+	}
+
+	c.mu.Lock()
+	c.syncing = false
+	c.lastCohort = co.n
+	if err == nil {
+		c.stats.Commits += uint64(co.n)
+		c.stats.Syncs++
+		c.stats.Bytes += uint64(len(co.arena))
+	}
+	c.sizes.Observe(co.n)
+	c.cond.Broadcast() // hand the device to the next cohort's leader
+	c.mu.Unlock()
+
+	c.finish(co, err)
+	c.waits.Observe(c.clock.Now().Sub(start))
+	return err
+}
+
+// holdLocked keeps the cohort open for up to maxHold (on the clock) or
+// until it fills. Must hold c.mu; the timer callback must not run inline
+// (both the wall clock and the simulation loop satisfy this).
+func (c *GroupCommitter) holdLocked(co *fsyncCohort) {
+	expired := false
+	cancel := c.clock.AfterFunc(c.maxHold, func() {
+		c.mu.Lock()
+		expired = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	for !expired && co.n < c.maxCohort && !c.closed {
+		c.cond.Wait()
+	}
+	cancel()
+}
+
+// finish resolves the cohort latch, releasing every follower.
+func (c *GroupCommitter) finish(co *fsyncCohort, err error) {
+	co.err = err
+	close(co.done)
+}
+
+// Stats returns committer accounting.
+func (c *GroupCommitter) Stats() CommitterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Cohorts = c.sizes.Count()
+	st.MaxCohort = c.sizes.Max()
+	return st
+}
+
+// CohortSizes exposes the cohort-size distribution.
+func (c *GroupCommitter) CohortSizes() *metrics.IntDist { return &c.sizes }
+
+// SyncWaits exposes the per-committer append→durable latency histogram.
+func (c *GroupCommitter) SyncWaits() *metrics.Histogram { return &c.waits }
+
+// Close implements Committer. The open cohort (if any) fails with
+// ErrStopped; a sync already on the device completes normally.
+func (c *GroupCommitter) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}

@@ -71,7 +71,7 @@ type Node struct {
 	listener   *transport.Listener
 	shipper    *MirrorShipper
 	mirrorConn *transport.Conn // the upstream connection while in mirror mode
-	disk       *DiskCommitter
+	disk       Committer       // transient-mode disk committer (group fsync by default)
 	closed     bool
 
 	events chan Event
@@ -139,10 +139,10 @@ func (n *Node) ServePrimary(listenAddr string, logMode LogMode) error {
 	var c Committer
 	switch logMode {
 	case LogDisk:
-		n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+		n.disk = buildCommitter(LogDisk, n.log, n.cfg)
 		c = n.disk
 	case LogDiscard, LogNone:
-		c = buildCommitter(logMode, n.log, 0)
+		c = buildCommitter(logMode, n.log, n.cfg)
 	case LogShip:
 		return fmt.Errorf("core: a primary starts in a single-node mode; shipping begins when a mirror attaches")
 	}
@@ -224,8 +224,14 @@ func (n *Node) attachMirror(conn *transport.Conn) {
 		// together) needs no data, but the snapshot is cheap insurance
 		// and makes rejoin identical to first join.
 		snap = n.db.Snapshot()
-		shipper = NewMirrorShipper(conn, serial+1, n.cfg.AckTimeout, n.cfg.HeartbeatEvery,
-			func() { n.mirrorLost() })
+		shipper = NewMirrorShipper(conn, serial+1, ShipperOptions{
+			AckTimeout: n.cfg.AckTimeout,
+			Heartbeat:  n.cfg.HeartbeatEvery,
+			MaxCohort:  n.cfg.MaxCohort,
+			MaxHold:    n.cfg.MaxCohortHold,
+			Clock:      n.cfg.Clock,
+			OnFailure:  func() { n.mirrorLost() },
+		})
 		engine.SetCommitter(shipper, LogShip)
 	})
 
@@ -276,7 +282,7 @@ func (n *Node) mirrorLost() {
 		return
 	}
 	if n.disk == nil {
-		n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+		n.disk = buildCommitter(LogDisk, n.log, n.cfg)
 	}
 	n.engine.SetCommitter(n.disk, LogDisk)
 	n.shipper = nil
@@ -331,7 +337,7 @@ func (n *Node) takeover(listenAddr string) error {
 		n.mu.Unlock()
 		return nil
 	}
-	n.disk = NewDiskCommitter(n.log, n.cfg.GroupCommitWindow)
+	n.disk = buildCommitter(LogDisk, n.log, n.cfg)
 	n.engine = NewEngine(n.cfg, n.db, n.disk, LogDisk)
 	n.engine.Controller().Seed(n.mirror.LastSerial(), n.mirror.MaxCommitTS())
 	n.mode = ModeTransient

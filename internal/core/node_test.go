@@ -492,21 +492,31 @@ func TestDialRetryFailsEventually(t *testing.T) {
 
 func TestBuildCommitterVariants(t *testing.T) {
 	mem := logstore.NewMem()
-	if c := buildCommitter(LogDiscard, mem, 0); c == nil {
+	cfg := Config{}.withDefaults()
+	if c := buildCommitter(LogDiscard, mem, cfg); c == nil {
 		t.Fatal("nil discard committer")
 	}
-	if c := buildCommitter(LogNone, mem, 0); c == nil {
+	if c := buildCommitter(LogNone, mem, cfg); c == nil {
 		t.Fatal("nil null committer")
 	}
-	if c := buildCommitter(LogDisk, mem, 0); c == nil {
+	if c := buildCommitter(LogDisk, mem, cfg); c == nil {
 		t.Fatal("nil disk committer")
+	} else if _, ok := c.(*GroupCommitter); !ok {
+		t.Fatalf("LogDisk default committer is %T, want *GroupCommitter", c)
+	}
+	win := cfg
+	win.GroupCommitWindow = time.Millisecond
+	if c := buildCommitter(LogDisk, mem, win); c == nil {
+		t.Fatal("nil disk committer")
+	} else if _, ok := c.(*DiskCommitter); !ok {
+		t.Fatalf("GroupCommitWindow>0 committer is %T, want *DiskCommitter", c)
 	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("buildCommitter(LogShip) should panic")
 		}
 	}()
-	buildCommitter(LogShip, mem, 0)
+	buildCommitter(LogShip, mem, cfg)
 }
 
 func TestDeleteReplicatesAndRecovers(t *testing.T) {

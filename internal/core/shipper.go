@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/simtime"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -20,26 +22,44 @@ import (
 // giving the stream the prefix property: a transaction's records — and
 // the records of everything it might depend on — are on the mirror
 // before its acknowledgment is sent.
+//
+// Commits are group-committed into cohorts: every contiguous pending
+// group is drained into one wire batch (one encode pass, one flush), the
+// mirror's cumulative ack releases the whole cohort at once, and the
+// waiters park on the shared condition latch rather than per-transaction
+// timers. The window is adaptive — an idle commit ships immediately;
+// under contention the sender may hold a partially drained cohort open
+// for up to MaxHold waiting for a serial gap to fill, trading a bounded
+// sliver of latency for fewer, fuller batches.
+//
+// All timing (ack deadlines, heartbeat pacing, the hold window) goes
+// through a simtime.Clock, so simulated runs are deterministic and tests
+// can drive timeouts without real sleeps.
 type MirrorShipper struct {
 	conn       *transport.Conn
 	ackTimeout time.Duration
 	ping       time.Duration
+	maxCohort  int
+	maxHold    time.Duration
+	clock      simtime.Clock
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	pending   map[uint64]*wal.Group // serial → group awaiting its turn
-	nextSend  uint64                // next serial to ship
-	acked     uint64                // highest acknowledged serial
-	lastHeard time.Time             // last message from the mirror
+	pending   map[uint64]*wal.Group   // serial → group awaiting its turn
+	pendingAt map[uint64]simtime.Time // serial → enqueue time (queue-delay metric)
+	nextSend  uint64                  // next serial to ship
+	acked     uint64                  // highest acknowledged serial
+	lastHeard simtime.Time            // last message from the mirror
 	failed    bool
 	closed    bool
 
-	// Commit waiters share one resettable timer that broadcasts at a
-	// coarse tick while any waiter exists, instead of arming a fresh
-	// time.AfterFunc per wait iteration per committing transaction.
+	// Commit waiters share one self-re-arming clock tick that broadcasts
+	// at a coarse period while any waiter exists, instead of arming a
+	// fresh timer per wait iteration per committing transaction. waitGen
+	// invalidates stale tick chains when the waiter count touches zero.
 	commitWaiters int
-	waitTimer     *time.Timer
-	idleTimer     *time.Timer // sender-only wakeup (heartbeat interval)
+	waitGen       uint64
+	waitCancel    func() bool
 
 	failOnce  sync.Once
 	onFailure func()
@@ -56,7 +76,9 @@ type MirrorShipper struct {
 	msgPtrs   []*transport.Msg
 	groupsBuf []*wal.Group
 
-	stats ShipperStats
+	stats       ShipperStats
+	cohortSizes metrics.IntDist
+	queueDelay  metrics.Histogram // enqueue → handed to the wire
 }
 
 // recSpan locates one encoded record inside the batch encode buffer.
@@ -71,46 +93,67 @@ type ShipperStats struct {
 	RecordsShipped uint64
 	BytesShipped   uint64
 	Acks           uint64
+	// Cohorts is the number of wire batches shipped; MaxCohort the most
+	// groups any one of them carried; HoldWaits how many times the sender
+	// held a partial cohort open for a serial gap.
+	Cohorts   uint64
+	MaxCohort uint64
+	HoldWaits uint64
+}
+
+// ShipperOptions parameterizes a MirrorShipper.
+type ShipperOptions struct {
+	// AckTimeout bounds how long a commit waits for the mirror's
+	// acknowledgment (and how long the sender tolerates a silent mirror)
+	// before declaring it down. Zero or negative disables the timeout.
+	AckTimeout time.Duration
+	// Heartbeat is the idle ping interval (default 100 ms).
+	Heartbeat time.Duration
+	// MaxCohort caps how many groups one wire batch may carry
+	// (default DefaultMaxCohort).
+	MaxCohort int
+	// MaxHold bounds how long the sender holds a partially drained cohort
+	// open waiting for a serial gap to fill. Zero or negative ships the
+	// moment the contiguous run is drained.
+	MaxHold time.Duration
+	// Clock supplies deadlines and timers; nil uses the wall clock.
+	Clock simtime.Clock
+	// OnFailure runs exactly once when the mirror connection breaks; the
+	// node uses it to switch to transient (disk) mode.
+	OnFailure func()
 }
 
 // NewMirrorShipper returns a shipper over an established mirror
 // connection. firstSerial is the validation order of the first group
 // this mirror session will carry (lastSerial at attach time + 1).
-// onFailure runs exactly once when the mirror connection breaks; the
-// node uses it to switch to transient (disk) mode.
-func NewMirrorShipper(conn *transport.Conn, firstSerial uint64, ackTimeout, ping time.Duration, onFailure func()) *MirrorShipper {
+func NewMirrorShipper(conn *transport.Conn, firstSerial uint64, opts ShipperOptions) *MirrorShipper {
 	if firstSerial == 0 {
 		firstSerial = 1
 	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 100 * time.Millisecond
+	}
+	if opts.MaxCohort <= 0 {
+		opts.MaxCohort = DefaultMaxCohort
+	}
+	if opts.Clock == nil {
+		opts.Clock = simtime.NewWallClock()
+	}
 	s := &MirrorShipper{
 		conn:       conn,
-		ackTimeout: ackTimeout,
-		ping:       ping,
+		ackTimeout: opts.AckTimeout,
+		ping:       opts.Heartbeat,
+		maxCohort:  opts.MaxCohort,
+		maxHold:    opts.MaxHold,
+		clock:      opts.Clock,
 		pending:    make(map[uint64]*wal.Group),
+		pendingAt:  make(map[uint64]simtime.Time),
 		nextSend:   firstSerial,
 		acked:      firstSerial - 1,
-		onFailure:  onFailure,
+		onFailure:  opts.OnFailure,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.lastHeard = time.Now()
-	// Both timers are created stopped; their callbacks only broadcast.
-	// waitTimer re-arms itself while commit waiters remain, so however
-	// many transactions are blocked in Commit there is exactly one timer.
-	s.waitTimer = time.AfterFunc(time.Hour, func() {
-		s.mu.Lock()
-		if s.commitWaiters > 0 {
-			s.waitTimer.Reset(waitTick)
-		}
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	s.waitTimer.Stop()
-	s.idleTimer = time.AfterFunc(time.Hour, func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	s.idleTimer.Stop()
+	s.lastHeard = s.clock.Now()
 	return s
 }
 
@@ -128,7 +171,9 @@ func (s *MirrorShipper) Start() {
 }
 
 // Commit implements Committer: enqueue the group and wait until the
-// mirror has acknowledged its commit record.
+// mirror has acknowledged its commit record. Concurrent committers form
+// a cohort — the sender drains them into one wire batch and the mirror's
+// cumulative ack releases them together.
 func (s *MirrorShipper) Commit(g *wal.Group) error {
 	serial := g.SerialOrder()
 	s.mu.Lock()
@@ -136,12 +181,14 @@ func (s *MirrorShipper) Commit(g *wal.Group) error {
 		s.mu.Unlock()
 		return ErrMirrorDown
 	}
+	now := s.clock.Now()
 	s.pending[serial] = g
+	s.pendingAt[serial] = now
 	s.cond.Broadcast()
 
-	deadline := time.Now().Add(s.ackTimeout)
+	deadline := now.Add(s.ackTimeout)
 	for s.acked < serial && !s.failed && !s.closed {
-		if time.Now().After(deadline) {
+		if s.ackTimeout > 0 && s.clock.Now() > deadline {
 			s.mu.Unlock()
 			s.fail()
 			return ErrMirrorDown
@@ -156,25 +203,91 @@ func (s *MirrorShipper) Commit(g *wal.Group) error {
 	return nil
 }
 
+// armWaitTick schedules the shared commit-waiter tick on the clock. The
+// callback re-arms itself while waiters remain; a generation bump
+// invalidates the chain so a stale callback never double-arms. Must hold
+// s.mu.
+func (s *MirrorShipper) armWaitTick() {
+	gen := s.waitGen
+	s.waitCancel = s.clock.AfterFunc(waitTick, func() {
+		s.mu.Lock()
+		if gen == s.waitGen {
+			if s.commitWaiters > 0 && !s.closed {
+				s.armWaitTick()
+			} else {
+				s.waitCancel = nil
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
 // timedWait waits on the condition with a coarse timer wakeup so ack
 // timeouts are honored without a timer per commit — or even per wait:
-// the first waiter arms the shared timer, its callback re-arms itself
-// while waiters remain, and the last waiter out stops it. The callback
-// only broadcasts; a late firing is a harmless spurious wakeup. Must
-// hold s.mu.
+// the first waiter arms the shared tick, the tick re-arms itself while
+// waiters remain, and the last waiter out cancels it. The callback only
+// broadcasts; a late firing is a harmless spurious wakeup. Must hold
+// s.mu.
 func (s *MirrorShipper) timedWait() {
 	if s.commitWaiters == 0 {
-		s.waitTimer.Reset(waitTick)
+		s.waitGen++
+		s.armWaitTick()
 	}
 	s.commitWaiters++
 	s.cond.Wait()
 	s.commitWaiters--
 	if s.commitWaiters == 0 {
-		s.waitTimer.Stop()
+		s.waitGen++ // invalidate the chain even if the tick already fired
+		if s.waitCancel != nil {
+			s.waitCancel()
+			s.waitCancel = nil
+		}
 	}
 }
 
-// sender ships pending groups in contiguous serial order, emitting
+// drainLocked moves contiguous pending groups (up to the cohort cap)
+// into groups, recording each one's queue delay. Must hold s.mu.
+func (s *MirrorShipper) drainLocked(groups []*wal.Group) []*wal.Group {
+	now := s.clock.Now()
+	for len(groups) < s.maxCohort {
+		g := s.pending[s.nextSend]
+		if g == nil {
+			break
+		}
+		delete(s.pending, s.nextSend)
+		if at, ok := s.pendingAt[s.nextSend]; ok {
+			s.queueDelay.Observe(now.Sub(at))
+			delete(s.pendingAt, s.nextSend)
+		}
+		s.nextSend++
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// gapWait holds a partially drained cohort open for up to maxHold,
+// waiting for the serial gap at nextSend to fill. This is the adaptive
+// half of the window: it only runs when a transaction has validated but
+// not yet enqueued (pending is non-empty with a gap in front), i.e. when
+// contention is observable — an idle commit never waits here. Must hold
+// s.mu.
+func (s *MirrorShipper) gapWait() {
+	s.stats.HoldWaits++
+	expired := false
+	cancel := s.clock.AfterFunc(s.maxHold, func() {
+		s.mu.Lock()
+		expired = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	for !expired && s.pending[s.nextSend] == nil && !s.failed && !s.closed {
+		s.cond.Wait()
+	}
+	cancel()
+}
+
+// sender ships pending cohorts in contiguous serial order, emitting
 // heartbeats while idle.
 func (s *MirrorShipper) sender() {
 	defer s.wg.Done()
@@ -184,7 +297,7 @@ func (s *MirrorShipper) sender() {
 			// A mirror that is connected but silent is as dead as a
 			// closed one: if nothing (ack, pong) has arrived within the
 			// ack timeout despite our pings, declare it down.
-			if s.ackTimeout > 0 && time.Since(s.lastHeard) > s.ackTimeout {
+			if s.ackTimeout > 0 && s.clock.Now().Sub(s.lastHeard) > s.ackTimeout {
 				s.mu.Unlock()
 				s.fail()
 				return
@@ -208,17 +321,14 @@ func (s *MirrorShipper) sender() {
 		// under bursty commit load several transactions validate before
 		// the previous flush completes, and one writev-style batch
 		// amortizes the syscall per group while keeping strict
-		// validation order.
-		const maxBatchGroups = 64
-		groups := s.groupsBuf[:0]
-		for len(groups) < maxBatchGroups {
-			g := s.pending[s.nextSend]
-			if g == nil {
-				break
-			}
-			delete(s.pending, s.nextSend)
-			s.nextSend++
-			groups = append(groups, g)
+		// validation order. If the contiguous run ends at a serial gap
+		// with later groups already queued behind it, hold the cohort
+		// open briefly — the gap-filler is mid-enqueue and catching it
+		// turns two half batches into one.
+		groups := s.drainLocked(s.groupsBuf[:0])
+		if s.maxHold > 0 && len(groups) < s.maxCohort && len(s.pending) > 0 {
+			s.gapWait()
+			groups = s.drainLocked(groups)
 		}
 		s.mu.Unlock()
 
@@ -263,26 +373,30 @@ func (s *MirrorShipper) sender() {
 			s.fail()
 			return
 		}
+		s.cohortSizes.Observe(nGroups)
 		s.mu.Lock()
 		s.stats.GroupsShipped += uint64(nGroups)
 		s.stats.RecordsShipped += uint64(nRecords)
 		s.stats.BytesShipped += uint64(nBytes)
+		s.stats.Cohorts++
+		if uint64(nGroups) > s.stats.MaxCohort {
+			s.stats.MaxCohort = uint64(nGroups)
+		}
 		s.mu.Unlock()
 	}
 }
 
-// idleWait waits for work with a heartbeat-interval wakeup on the
-// sender's dedicated resettable timer (the sender is a single goroutine,
-// so a plain Reset before each wait suffices). Must hold s.mu; same
-// broadcast-only discipline as timedWait.
+// idleWait waits for work with a heartbeat-interval wakeup (one-shot,
+// canceled on the way out; the sender is a single goroutine). Must hold
+// s.mu; same broadcast-only discipline as timedWait.
 func (s *MirrorShipper) idleWait() {
-	interval := s.ping
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	s.idleTimer.Reset(interval)
+	cancel := s.clock.AfterFunc(s.ping, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
 	s.cond.Wait()
-	s.idleTimer.Stop()
+	cancel()
 }
 
 // ackReader consumes acknowledgments (and pongs) from the mirror. Acks
@@ -299,7 +413,7 @@ func (s *MirrorShipper) ackReader() {
 		typ, serial := m.Type, m.Serial
 		transport.ReleaseMsg(m)
 		s.mu.Lock()
-		s.lastHeard = time.Now()
+		s.lastHeard = s.clock.Now()
 		s.mu.Unlock()
 		switch typ {
 		case transport.MsgAck:
@@ -358,6 +472,13 @@ func (s *MirrorShipper) Stats() ShipperStats {
 	defer s.mu.Unlock()
 	return s.stats
 }
+
+// CohortSizes exposes the wire-batch size distribution.
+func (s *MirrorShipper) CohortSizes() *metrics.IntDist { return &s.cohortSizes }
+
+// QueueDelay exposes the enqueue→wire latency histogram: how long a
+// committed group waited for its cohort to ship.
+func (s *MirrorShipper) QueueDelay() *metrics.Histogram { return &s.queueDelay }
 
 // Close implements Committer. Pending commits fail with ErrMirrorDown.
 func (s *MirrorShipper) Close() error {

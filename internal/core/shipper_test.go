@@ -73,7 +73,11 @@ func shipperPair(t *testing.T, ackTimeout time.Duration) (*MirrorShipper, *fakeM
 	fm := &fakeMirror{conn: b}
 	go fm.run()
 	var failed atomic.Bool
-	s := NewMirrorShipper(a, 1, ackTimeout, 20*time.Millisecond, func() { failed.Store(true) })
+	s := NewMirrorShipper(a, 1, ShipperOptions{
+		AckTimeout: ackTimeout,
+		Heartbeat:  20 * time.Millisecond,
+		OnFailure:  func() { failed.Store(true) },
+	})
 	s.Start()
 	t.Cleanup(func() {
 		s.Close()
@@ -180,7 +184,11 @@ func TestShipperDetectsSilentMirrorWhileIdle(t *testing.T) {
 func TestShipperConnCloseFailsPending(t *testing.T) {
 	a, b := transport.Pipe()
 	var failed atomic.Bool
-	s := NewMirrorShipper(a, 1, 2*time.Second, 20*time.Millisecond, func() { failed.Store(true) })
+	s := NewMirrorShipper(a, 1, ShipperOptions{
+		AckTimeout: 2 * time.Second,
+		Heartbeat:  20 * time.Millisecond,
+		OnFailure:  func() { failed.Store(true) },
+	})
 	s.Start()
 	defer s.Close()
 	done := make(chan error, 1)
@@ -203,7 +211,11 @@ func TestShipperConnCloseFailsPending(t *testing.T) {
 func TestShipperUnexpectedMessageFails(t *testing.T) {
 	a, b := transport.Pipe()
 	var failed atomic.Bool
-	s := NewMirrorShipper(a, 1, 2*time.Second, 20*time.Millisecond, func() { failed.Store(true) })
+	s := NewMirrorShipper(a, 1, ShipperOptions{
+		AckTimeout: 2 * time.Second,
+		Heartbeat:  20 * time.Millisecond,
+		OnFailure:  func() { failed.Store(true) },
+	})
 	s.Start()
 	defer s.Close()
 	defer b.Close()

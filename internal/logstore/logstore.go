@@ -10,6 +10,7 @@ import (
 	"errors"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,10 @@ import (
 type Store interface {
 	// Append adds p to the log buffer.
 	Append(p []byte) error
+	// AppendBatch adds every chunk to the log buffer, in order, as one
+	// vectored operation: a group-commit cohort lands with one call (and
+	// one lock acquisition / syscall batch) instead of N.
+	AppendBatch(chunks [][]byte) error
 	// Sync forces all appended data to stable storage.
 	Sync() error
 	// Close syncs and releases the store.
@@ -54,12 +59,17 @@ func Reset(s Store) (bool, error) {
 // --- File -------------------------------------------------------------------
 
 // File is a file-backed log store using buffered appends and fsync.
+// The I/O counters are atomics so Stats never blocks behind the device:
+// a monitoring read during a slow fsync (which holds mu for its whole
+// duration) must not stall.
 type File struct {
 	mu     sync.Mutex
 	f      *os.File
 	w      *bufio.Writer
-	stats  Stats
 	closed bool
+
+	bytesAppended atomic.Uint64
+	syncs         atomic.Uint64
 }
 
 // OpenFile opens (creating, appending) the log file at path.
@@ -79,8 +89,29 @@ func (s *File) Append(p []byte) error {
 		return ErrClosed
 	}
 	n, err := s.w.Write(p)
-	s.stats.BytesAppended += uint64(n)
+	s.bytesAppended.Add(uint64(n))
 	return err
+}
+
+// AppendBatch implements Store: every chunk goes into the write buffer
+// under one lock acquisition.
+func (s *File) AppendBatch(chunks [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var total uint64
+	for _, p := range chunks {
+		n, err := s.w.Write(p)
+		total += uint64(n)
+		if err != nil {
+			s.bytesAppended.Add(total)
+			return err
+		}
+	}
+	s.bytesAppended.Add(total)
+	return nil
 }
 
 // Sync implements Store.
@@ -93,7 +124,7 @@ func (s *File) Sync() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
-	s.stats.Syncs++
+	s.syncs.Add(1)
 	return s.f.Sync()
 }
 
@@ -116,11 +147,13 @@ func (s *File) Close() error {
 	return s.f.Close()
 }
 
-// Stats returns I/O accounting.
+// Stats returns I/O accounting. It is lock-free: safe to call while an
+// Append or a long device Sync is in flight.
 func (s *File) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		BytesAppended: s.bytesAppended.Load(),
+		Syncs:         s.syncs.Load(),
+	}
 }
 
 // Reset implements Resetter: the file is truncated to zero length.
@@ -163,6 +196,21 @@ func (m *Mem) Append(p []byte) error {
 	}
 	m.data = append(m.data, p...)
 	m.stats.BytesAppended += uint64(len(p))
+	return nil
+}
+
+// AppendBatch implements Store: all chunks land under one lock, so a
+// concurrent Sync can never split a cohort.
+func (m *Mem) AppendBatch(chunks [][]byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, p := range chunks {
+		m.data = append(m.data, p...)
+		m.stats.BytesAppended += uint64(len(p))
+	}
 	return nil
 }
 
@@ -233,6 +281,9 @@ func NewNull() Null { return Null{} }
 // Append implements Store.
 func (Null) Append([]byte) error { return nil }
 
+// AppendBatch implements Store.
+func (Null) AppendBatch([][]byte) error { return nil }
+
 // Sync implements Store.
 func (Null) Sync() error { return nil }
 
@@ -259,6 +310,9 @@ func NewDelayed(inner Store, syncDelay time.Duration) *Delayed {
 
 // Append implements Store.
 func (d *Delayed) Append(p []byte) error { return d.Inner.Append(p) }
+
+// AppendBatch implements Store.
+func (d *Delayed) AppendBatch(chunks [][]byte) error { return d.Inner.AppendBatch(chunks) }
 
 // Sync implements Store. Concurrent Syncs serialize, as on one device.
 func (d *Delayed) Sync() error {

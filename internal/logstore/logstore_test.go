@@ -210,3 +210,127 @@ func TestResetHelper(t *testing.T) {
 		t.Fatal("Null should not report Resetter support")
 	}
 }
+
+func TestAppendBatchEquivalence(t *testing.T) {
+	chunks := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	want := []byte("alphabetagamma")
+
+	m := NewMem()
+	if err := m.AppendBatch(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes()) != string(want) {
+		t.Fatalf("Mem batch contents = %q", m.Bytes())
+	}
+	if st := m.Stats(); st.BytesAppended != uint64(len(want)) {
+		t.Fatalf("Mem BytesAppended = %d, want %d", st.BytesAppended, len(want))
+	}
+
+	path := filepath.Join(t.TempDir(), "batch.log")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendBatch(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.BytesAppended != uint64(len(want)) {
+		t.Fatalf("File BytesAppended = %d, want %d", st.BytesAppended, len(want))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("File batch contents = %q", data)
+	}
+
+	if err := NewNull().AppendBatch(chunks); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewMem()
+	d := NewDelayed(inner, 0)
+	if err := d.AppendBatch(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if string(inner.Bytes()) != string(want) {
+		t.Fatalf("Delayed batch contents = %q", inner.Bytes())
+	}
+}
+
+func TestAppendBatchClosed(t *testing.T) {
+	m := NewMem()
+	m.Close()
+	if err := m.AppendBatch([][]byte{[]byte("x")}); err != ErrClosed {
+		t.Fatalf("Mem AppendBatch after close: %v", err)
+	}
+	f, _ := OpenFile(filepath.Join(t.TempDir(), "c.log"))
+	f.Close()
+	if err := f.AppendBatch([][]byte{[]byte("x")}); err != ErrClosed {
+		t.Fatalf("File AppendBatch after close: %v", err)
+	}
+}
+
+// TestFileStatsConcurrent hammers Append/AppendBatch/Sync while reading
+// Stats from another goroutine; under -race this pins the satellite fix
+// (the counters are atomics, so Stats never tears or blocks on the
+// device mutex).
+func TestFileStatsConcurrent(t *testing.T) {
+	f, err := OpenFile(filepath.Join(t.TempDir(), "conc.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const writers = 4
+	const per = 200
+	var writerWg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+	readerWg.Add(1)
+	go func() { // concurrent Stats reader
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = f.Stats()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func() {
+			defer writerWg.Done()
+			for i := 0; i < per; i++ {
+				if i%3 == 0 {
+					if err := f.AppendBatch([][]byte{[]byte("ab"), []byte("cd")}); err != nil {
+						t.Errorf("AppendBatch: %v", err)
+						return
+					}
+				} else if err := f.Append([]byte("abcd")); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if i%17 == 0 {
+					if err := f.Sync(); err != nil {
+						t.Errorf("Sync: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+	st := f.Stats()
+	if st.BytesAppended != writers*per*4 {
+		t.Fatalf("BytesAppended = %d, want %d", st.BytesAppended, writers*per*4)
+	}
+	if st.Syncs == 0 {
+		t.Fatal("no syncs recorded")
+	}
+}

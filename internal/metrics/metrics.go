@@ -223,6 +223,103 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// --- IntDist -----------------------------------------------------------------
+
+// IntDist is a concurrency-safe distribution of small positive integers
+// — group-commit cohort sizes, batch lengths — with power-of-two
+// buckets. It is the integer sibling of Histogram.
+type IntDist struct {
+	mu      sync.Mutex
+	buckets [intDistBuckets]uint64 // bucket i holds values in [2^i, 2^(i+1))
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+const intDistBuckets = 32
+
+func intBucketFor(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	i := 0
+	for v > 1 {
+		v >>= 1
+		i++
+	}
+	if i >= intDistBuckets {
+		i = intDistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one sample; values below 1 count as 1.
+func (d *IntDist) Observe(v int) {
+	u := uint64(1)
+	if v > 1 {
+		u = uint64(v)
+	}
+	d.mu.Lock()
+	d.buckets[intBucketFor(u)]++
+	d.count++
+	d.sum += u
+	if u > d.max {
+		d.max = u
+	}
+	d.mu.Unlock()
+}
+
+// Count reports the number of samples.
+func (d *IntDist) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Mean reports the mean sample.
+func (d *IntDist) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// Max reports the largest sample.
+func (d *IntDist) Max() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Quantile reports an upper bound for the q-quantile (0 < q ≤ 1),
+// capped at the largest observed sample.
+func (d *IntDist) Quantile(q float64) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(d.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range d.buckets {
+		cum += n
+		if cum >= target {
+			bound := uint64(1) << uint(i+1)
+			bound-- // inclusive upper edge of the bucket
+			if bound > d.max {
+				return d.max
+			}
+			return bound
+		}
+	}
+	return d.max
+}
+
 // --- Table -------------------------------------------------------------------
 
 // Table is a simple aligned-text table used to print the experiment

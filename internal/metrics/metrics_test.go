@@ -155,3 +155,58 @@ func TestPct(t *testing.T) {
 		t.Fatalf("Pct = %q", Pct(0.255))
 	}
 }
+
+func TestIntDistBasics(t *testing.T) {
+	var d IntDist
+	if d.Count() != 0 || d.Mean() != 0 || d.Max() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("empty IntDist not zero")
+	}
+	for _, v := range []int{1, 1, 2, 4, 8, 64} {
+		d.Observe(v)
+	}
+	if d.Count() != 6 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if d.Max() != 64 {
+		t.Fatalf("Max = %d", d.Max())
+	}
+	if got, want := d.Mean(), 80.0/6.0; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Median of {1,1,2,4,8,64} falls in the [2,4) bucket; the reported
+	// bound is that bucket's inclusive upper edge.
+	if q := d.Quantile(0.5); q < 2 || q > 4 {
+		t.Fatalf("Quantile(0.5) = %d, want within [2,4]", q)
+	}
+	if q := d.Quantile(1); q != 64 {
+		t.Fatalf("Quantile(1) = %d, want 64 (capped at max)", q)
+	}
+	// Values below 1 count as 1 so a cohort of "zero" cannot hide.
+	d.Observe(0)
+	d.Observe(-3)
+	if d.Count() != 8 || d.Quantile(0.01) != 1 {
+		t.Fatalf("low-value clamp: count=%d q01=%d", d.Count(), d.Quantile(0.01))
+	}
+}
+
+func TestIntDistConcurrent(t *testing.T) {
+	var d IntDist
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				d.Observe(w + 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 4000 {
+		t.Fatalf("Count = %d, want 4000", d.Count())
+	}
+	if d.Max() != 4 {
+		t.Fatalf("Max = %d, want 4", d.Max())
+	}
+}

@@ -145,8 +145,18 @@ type Options struct {
 	// NonRTReserve is the dispatch fraction reserved for non-real-time
 	// transactions (default 0.05).
 	NonRTReserve float64
-	// GroupCommitWindow batches disk commits when > 0.
+	// GroupCommitWindow selects the legacy fixed-window disk batching
+	// when > 0; at zero the adaptive leader/follower group-fsync
+	// committer is used (sync immediately when idle, batch under load).
 	GroupCommitWindow time.Duration
+	// MaxCohort caps how many committing transactions one group-commit
+	// cohort carries — a wire batch to the mirror, or one vectored
+	// append + sync on the transient primary (default 64).
+	MaxCohort int
+	// MaxCohortHold bounds the adaptive hold window group commit may
+	// wait for stragglers. Zero keeps the default (200µs); negative
+	// disables holding.
+	MaxCohortHold time.Duration
 	// SimulatedDiskLatency, when > 0, adds this latency to every log
 	// sync — a stand-in for the slow log disk of the paper's era on
 	// machines whose real storage is too fast to show the effect.
@@ -173,6 +183,8 @@ func (o Options) coreConfig() (core.Config, error) {
 		MaxRestarts:        o.MaxRestarts,
 		NonRTReserve:       o.NonRTReserve,
 		GroupCommitWindow:  o.GroupCommitWindow,
+		MaxCohort:          o.MaxCohort,
+		MaxCohortHold:      o.MaxCohortHold,
 		AckTimeout:         o.AckTimeout,
 		HeartbeatEvery:     o.HeartbeatEvery,
 		HeartbeatMisses:    o.HeartbeatMisses,
