@@ -2,18 +2,19 @@
 
 GO ?= go
 
-.PHONY: all check build test race cover bench benchfast bench-json benchdiff experiments examples fmt vet clean
+.PHONY: all check build test race cover bench benchfast bench-json benchdiff experiments examples fmt vet lint clean
 
 all: build test
 
 # Everything a change must keep green before it lands: build, vet, the
-# full test suite, the race detector over the concurrency-heavy
-# packages, and one fast benchmark pass to catch perf-path breakage.
-check: build vet test race-hot benchfast
+# module's own analysis passes, the full test suite, the race detector
+# over the concurrency-heavy packages, and one fast benchmark pass to
+# catch perf-path breakage.
+check: build vet lint test race-hot benchfast
 
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race ./internal/store ./internal/core ./internal/occ ./internal/txn ./internal/transport
+	$(GO) test -race ./internal/store ./internal/core ./internal/occ ./internal/txn ./internal/transport ./internal/logstore ./internal/wal
 
 build:
 	$(GO) build ./...
@@ -73,6 +74,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# rodain-vet: the module's own go/analysis passes — wall-clock use,
+# ignored log-write errors, atomic-field discipline, stripe lock order
+# and borrowed-view escapes (DESIGN.md §9).
+lint:
+	$(GO) run ./cmd/rodain-vet ./...
 
 clean:
 	rm -f test_output.txt bench_output.txt

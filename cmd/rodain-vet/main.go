@@ -1,0 +1,82 @@
+// rodain-vet is the repository's static-analysis gate: five
+// go/analysis passes that enforce the engine's concurrency and
+// durability invariants at compile time (see DESIGN.md §9).
+//
+// It is a go-vet compatible unitchecker. Run it on package patterns
+// directly —
+//
+//	go run ./cmd/rodain-vet ./...
+//
+// — and it re-executes itself through `go vet -vettool`, which handles
+// package loading, dependency ordering and cross-package fact
+// propagation. Exemptions are per-line //rodain:allow directives; see
+// the individual pass documentation.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/borrowedview"
+	"repro/internal/analysis/durability"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/wallclock"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		// Invoked by cmd/go as a vet tool: hand over to the unitchecker
+		// (it parses the .cfg, runs the passes, emits JSON facts and
+		// diagnostics). Never returns.
+		unitchecker.Main(
+			wallclock.Analyzer,
+			durability.Analyzer,
+			atomicfield.Analyzer,
+			borrowedview.Analyzer,
+			lockorder.Analyzer,
+		)
+	}
+
+	// Invoked by a human with package patterns: re-exec through go vet
+	// so the build system drives us over every package.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rodain-vet: %v\n", err)
+		os.Exit(1)
+	}
+	vet := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	vet.Stdout = os.Stdout
+	vet.Stderr = os.Stderr
+	vet.Stdin = os.Stdin
+	if err := vet.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "rodain-vet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether args look like a cmd/go vet-tool
+// invocation: a single *.cfg unit file, or the -V / -flags protocol
+// probes. Anything else (package patterns, possibly preceded by
+// analyzer flags) is the human-facing driver mode.
+func vetProtocol(args []string) bool {
+	if len(args) == 0 {
+		return true // let unitchecker print its usage
+	}
+	if strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return true
+	}
+	switch {
+	case strings.HasPrefix(args[0], "-V"), args[0] == "-flags":
+		return true
+	}
+	return false
+}

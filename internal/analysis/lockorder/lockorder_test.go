@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/vettest"
+)
+
+func TestLockOrder(t *testing.T) {
+	vettest.Run(t, "../testdata", lockorder.Analyzer, "internal/striped")
+}

@@ -1,0 +1,10 @@
+// Package outside sits outside the wallclock scope: its import path
+// contains no "internal/", so the pass skips it entirely.
+package outside
+
+import "time"
+
+func Sleepy() {
+	time.Sleep(time.Millisecond)
+	_ = time.Now()
+}

@@ -1,0 +1,45 @@
+// Package clockuse exercises the wallclock pass: forbidden time
+// package clock reads, the method-call exemption, and the
+// //rodain:allow escape hatch.
+package clockuse
+
+import "time"
+
+func bad() {
+	time.Sleep(time.Millisecond)  // want `time\.Sleep reads the wall clock`
+	_ = time.Now()                // want `time\.Now reads the wall clock`
+	ch := time.After(time.Second) // want `time\.After reads the wall clock`
+	<-ch
+	tm := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	tm.Stop()
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tk.Stop()
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+}
+
+// methodsAreFine: Time.After is a method on a value — it compares two
+// instants and carries no clock of its own.
+func methodsAreFine(deadline time.Time) bool {
+	return deadline.After(time.Time{})
+}
+
+// typesAreFine: durations and zero Times are pure data.
+func typesAreFine() time.Duration {
+	var t time.Time
+	_ = t
+	return 3 * time.Millisecond
+}
+
+func annotatedTrailing() {
+	time.Sleep(time.Millisecond) //rodain:allow wallclock (fixture: sanctioned wall-clock use)
+}
+
+func annotatedStandalone() {
+	//rodain:allow wallclock (fixture: sanctioned wall-clock use)
+	time.Sleep(time.Millisecond)
+}
+
+func wrongPassName() {
+	//rodain:allow durability (an exemption from one invariant must not leak into another)
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

@@ -1,0 +1,43 @@
+// Package counters exercises the atomicfield pass within one package:
+// a field whose address feeds sync/atomic must never be touched
+// plainly. The exported Gauge is also imported by internal/counteruse
+// to check that the fact crosses package boundaries.
+package counters
+
+import "sync/atomic"
+
+type Gauge struct {
+	N uint64
+}
+
+// Inc is the sanctioned access: it is what marks N as atomic.
+func (g *Gauge) Inc() {
+	atomic.AddUint64(&g.N, 1)
+}
+
+// Load is also sanctioned: the selector is an atomic operand.
+func (g *Gauge) Load() uint64 {
+	return atomic.LoadUint64(&g.N)
+}
+
+func plainRead(g *Gauge) uint64 {
+	return g.N // want `non-atomic access to field N`
+}
+
+func plainWrite(g *Gauge) {
+	g.N = 0 // want `non-atomic access to field N`
+}
+
+// NewGauge initializes the field before the value is published — the
+// one place a plain write is deliberate.
+func NewGauge(start uint64) *Gauge {
+	g := &Gauge{}
+	//rodain:allow atomicfield (constructor: g is not yet shared)
+	g.N = start
+	return g
+}
+
+// other is never touched atomically; plain access is fine.
+type plain struct{ n uint64 }
+
+func bump(p *plain) { p.n++ }

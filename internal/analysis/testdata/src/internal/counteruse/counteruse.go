@@ -1,0 +1,18 @@
+// Package counteruse exercises the atomicfield pass across packages:
+// counters.Gauge.N carries an IsAtomic fact exported by the counters
+// package, so a plain access here is caught too.
+package counteruse
+
+import (
+	"sync/atomic"
+
+	"internal/counters"
+)
+
+func Read(g *counters.Gauge) uint64 {
+	return g.N // want `non-atomic access to field N`
+}
+
+func ReadAtomic(g *counters.Gauge) uint64 {
+	return atomic.LoadUint64(&g.N)
+}

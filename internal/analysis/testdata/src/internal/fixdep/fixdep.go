@@ -1,0 +1,8 @@
+// Package fixdep is a module-internal dependency for the lockorder
+// fixture: calling into it while a stripe lock is held is what the
+// pass flags.
+package fixdep
+
+var hits int
+
+func Touch() { hits++ }

@@ -1,0 +1,20 @@
+// Package shipper reproduces the regression shape the wallclock pass
+// exists to prevent: the PR-3 group-commit shipper once parked its
+// cohort hold loop on a real time.Sleep, blocking every commit on the
+// wall clock regardless of the engine's configured simtime.Clock.
+package shipper
+
+import "time"
+
+type cohort struct {
+	open bool
+	hold time.Duration
+}
+
+// awaitStragglers is the hold loop. The sleep below is exactly the
+// bug: it must go through simtime.SleepOn(clock, c.hold) instead.
+func (c *cohort) awaitStragglers() {
+	for c.open {
+		time.Sleep(c.hold) // want `time\.Sleep reads the wall clock`
+	}
+}

@@ -1,0 +1,92 @@
+// Package striped exercises the lockorder pass: unordered second
+// stripe acquisitions, the range-loop (ascending order) exemption,
+// cross-package calls under a stripe lock, deferred unlocks keeping
+// the lock held, and the //rodain:allow escape hatch.
+package striped
+
+import (
+	"sync"
+
+	"internal/fixdep"
+)
+
+type stripe struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+// Table's stripes field is what makes stripe a striped type.
+type Table struct {
+	stripes []stripe
+}
+
+func unordered(t *Table, i, j int) {
+	t.stripes[i].mu.Lock()
+	t.stripes[j].mu.Lock() // want `acquiring a second stripe lock`
+	t.stripes[j].mu.Unlock()
+	t.stripes[i].mu.Unlock()
+}
+
+// lockAll is the sanctioned multi-stripe pattern: range order is
+// ascending by construction.
+func lockAll(t *Table) {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+	}
+	for i := range t.stripes {
+		t.stripes[i].mu.Unlock()
+	}
+}
+
+func crossPackage(t *Table, i int) {
+	t.stripes[i].mu.Lock()
+	fixdep.Touch() // want `cross-package calls under a stripe lock`
+	t.stripes[i].mu.Unlock()
+}
+
+// deferredUnlock: the deferred unlock runs at return, so the call in
+// between really is made under the stripe lock.
+func deferredUnlock(t *Table, i int) {
+	t.stripes[i].mu.Lock()
+	defer t.stripes[i].mu.Unlock()
+	fixdep.Touch() // want `cross-package calls under a stripe lock`
+}
+
+// sequential lock/unlock pairs never hold two stripes at once.
+func sequential(t *Table, i, j int) {
+	t.stripes[i].mu.Lock()
+	t.stripes[i].mu.Unlock()
+	t.stripes[j].mu.Lock()
+	t.stripes[j].mu.Unlock()
+}
+
+// afterUnlock: once the stripe is released, calls out are fine.
+func afterUnlock(t *Table, i int) {
+	t.stripes[i].mu.Lock()
+	t.stripes[i].mu.Unlock()
+	fixdep.Touch()
+}
+
+func allowNested(t *Table, i, j int) {
+	if i >= j {
+		return
+	}
+	t.stripes[i].mu.Lock()
+	//rodain:allow lockorder (fixture: the guard above proves i < j)
+	t.stripes[j].mu.Lock()
+	t.stripes[j].mu.Unlock()
+	t.stripes[i].mu.Unlock()
+}
+
+// otherFamily: a lock of a different owner type is not a second
+// stripe acquisition.
+type registry struct {
+	mu sync.Mutex
+}
+
+func mixedFamilies(t *Table, r *registry, i int) {
+	t.stripes[i].mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	t.stripes[i].mu.Unlock()
+}

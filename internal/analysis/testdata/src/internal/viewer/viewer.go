@@ -1,0 +1,81 @@
+// Package viewer exercises the borrowedview pass: borrowed zero-copy
+// slices escaping into fields, package variables, channels and slice
+// elements; the copy-and-own sanctioned patterns; alias tracking;
+// reassignment clearing the borrow; and the //rodain:allow escape
+// hatch.
+package viewer
+
+// Store is recognized structurally: View's first result is []byte.
+type Store struct {
+	buf []byte
+}
+
+func (s *Store) View(id uint64) ([]byte, bool) { _ = id; return s.buf, true }
+
+type cache struct {
+	last  []byte
+	items [][]byte
+}
+
+var global []byte
+
+func escapes(s *Store, c *cache, ch chan []byte, list [][]byte) {
+	v, ok := s.View(1)
+	_ = ok
+	c.last = v  // want `escapes into field c\.last`
+	global = v  // want `escapes into package variable global`
+	ch <- v     // want `escapes into a channel`
+	list[0] = v // want `escapes into element of list`
+}
+
+func escapesDirectCall(s *Store, c *cache) {
+	c.last, _ = s.View(2) // want `escapes into field c\.last`
+	_ = c.last
+}
+
+type pair struct {
+	id uint64
+	b  []byte
+}
+
+func escapesViaLiteral(s *Store, ch chan pair) {
+	v, _ := s.View(3)
+	ch <- pair{id: 3, b: v} // want `escapes into a channel`
+}
+
+func escapesViaAppend(s *Store, c *cache) {
+	v, _ := s.View(4)
+	c.items = append(c.items, v) // want `escapes into field c\.items`
+}
+
+func escapesViaAlias(s *Store, c *cache) {
+	v, _ := s.View(5)
+	w := v
+	c.last = w // want `escapes into field c\.last`
+}
+
+// copies owns the bytes before storing: the sanctioned pattern.
+func copies(s *Store, c *cache) {
+	v, _ := s.View(6)
+	c.last = append([]byte(nil), v...)
+}
+
+// reassigned: overwriting the local with owned data ends the borrow.
+func reassigned(s *Store, c *cache) {
+	v, _ := s.View(7)
+	v = []byte("owned")
+	c.last = v
+}
+
+// passing a borrow on, or returning it, hands the obligation to the
+// caller — not flagged.
+func returned(s *Store) []byte {
+	v, _ := s.View(8)
+	return v
+}
+
+func allowed(s *Store, c *cache) {
+	v, _ := s.View(9)
+	//rodain:allow borrowedview (fixture: consumer synchronizes with the store's epoch)
+	c.last = v
+}

@@ -1,0 +1,340 @@
+// Package vettest is a miniature analysistest: it loads fixture
+// packages from a testdata/src tree, type-checks them against the real
+// standard library, runs an analyzer (and its inspect prerequisite)
+// over every loaded package in dependency order, and compares the
+// diagnostics against "// want" comments in the fixture sources.
+//
+// The vendored x/tools subset this module carries has no analysistest
+// (which would drag in go/packages and an external driver); this
+// harness covers what the rodain-vet passes need — multi-file fixture
+// packages, fixture-local imports, object facts flowing between
+// fixture packages, and regexp want-matching — in plain go/types.
+//
+// Fixture layout mirrors analysistest:
+//
+//	testdata/src/<import/path>/*.go
+//
+// Every import in a fixture file that resolves to a directory under
+// testdata/src is loaded as another fixture package (facts propagate
+// from it); anything else is resolved from the standard library
+// source.
+//
+// Expectations are end-of-line comments of the form
+//
+//	expr // want "regexp"
+//	expr // want `regexp` "second regexp"
+//
+// Each regexp must match the message of a diagnostic reported on that
+// line; diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<path> (testdata is
+// resolved relative to the test's working directory), runs a over it
+// and all fixture packages it imports, and reports every mismatch
+// between diagnostics and want comments as a test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	if _, err := l.load(path); err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+
+	facts := make(factStore)
+	var diags []diag
+	for _, p := range l.order { // dependencies first, so facts flow forward
+		pkg := l.pkgs[p]
+		results := make(map[*analysis.Analyzer]interface{})
+		if err := runWithDeps(a, pkg, l.fset, facts, results, func(d analysis.Diagnostic) {
+			pos := l.fset.Position(d.Pos)
+			diags = append(diags, diag{file: pos.Filename, line: pos.Line, msg: d.Message})
+		}); err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, p, err)
+		}
+	}
+
+	wants := collectWants(t, l)
+	matchDiagnostics(t, wants, diags)
+}
+
+// diag is one reported diagnostic, positioned by file and line.
+type diag struct {
+	file string
+	line int
+	msg  string
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// loader loads fixture packages, recursively resolving fixture-local
+// imports and falling back to the standard library's source for the
+// rest.
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*fixturePkg
+	order  []string // load (topological) order, dependencies first
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(srcdir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcdir: srcdir,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*fixturePkg),
+	}
+}
+
+// Import implements types.Importer over the fixture tree: fixture
+// directories shadow everything else; the rest is standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcdir, filepath.FromSlash(path)); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at srcdir/path.
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = p
+	l.order = append(l.order, path)
+	return p, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// factStore holds object facts across fixture packages, in memory: the
+// in-process equivalent of the fact files a vet driver would persist.
+type factStore map[types.Object][]analysis.Fact
+
+func (s factStore) export(obj types.Object, f analysis.Fact) {
+	for i, got := range s[obj] {
+		if reflect.TypeOf(got) == reflect.TypeOf(f) {
+			s[obj][i] = f
+			return
+		}
+	}
+	s[obj] = append(s[obj], f)
+}
+
+func (s factStore) importFact(obj types.Object, f analysis.Fact) bool {
+	for _, got := range s[obj] {
+		if reflect.TypeOf(got) == reflect.TypeOf(f) {
+			reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// runWithDeps runs a's prerequisite analyzers (memoized in results),
+// then a itself, over one fixture package.
+func runWithDeps(a *analysis.Analyzer, pkg *fixturePkg, fset *token.FileSet, facts factStore, results map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic)) error {
+	for _, dep := range a.Requires {
+		if _, done := results[dep]; done {
+			continue
+		}
+		if err := runWithDeps(dep, pkg, fset, facts, results, func(analysis.Diagnostic) {}); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.files,
+		Pkg:        pkg.pkg,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   results,
+		Report:     report,
+		ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+			return facts.importFact(obj, f)
+		},
+		ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+			facts.export(obj, f)
+		},
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return err
+	}
+	results[a] = res
+	return nil
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses every "// want" comment in the loaded fixture
+// files into line-anchored expectations.
+func collectWants(t *testing.T, l *loader) []*want {
+	t.Helper()
+	var wants []*want
+	for _, p := range l.order {
+		for _, f := range l.pkgs[p].files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := l.fset.Position(c.Pos())
+					for _, pat := range splitPatterns(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted regexps of a want comment body:
+// "..." (interpreted) or `...` (raw), space-separated.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return pats
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				pats = append(pats, unq)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return pats
+		}
+	}
+	return pats
+}
+
+// matchDiagnostics pairs diagnostics with wants and reports every
+// leftover on either side.
+func matchDiagnostics(t *testing.T, wants []*want, diags []diag) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].file != diags[j].file {
+			return diags[i].file < diags[j].file
+		}
+		return diags[i].line < diags[j].line
+	})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.file || w.line != d.line || !w.re.MatchString(d.msg) {
+				continue
+			}
+			w.used = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(d.file), d.line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package wallclock forbids direct wall-clock time in engine code.
+//
+// The engine's latency and availability numbers are only reproducible —
+// and its simulated-time tests only deterministic — if every "what time
+// is it" and "call me later" goes through simtime.Clock. A hard-coded
+// time.Sleep on the hot path (the PR-3 shipper bug) blocks a commit on
+// the wall clock no matter what clock the engine was configured with;
+// a stray time.Now splits the timeline between virtual and real time.
+//
+// The pass flags any reference to the time package's clock-reading and
+// timer primitives (time.Now, Sleep, Since, Until, After, Tick,
+// NewTimer, NewTicker, AfterFunc) in non-test code of in-scope
+// packages. Places where real time is the point — the wall-clock
+// implementation itself, socket deadlines, measurement harnesses —
+// carry a //rodain:allow wallclock directive.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/rodainallow"
+)
+
+// forbidden are the time package functions that read or schedule on the
+// wall clock. Pure data types and conversions (time.Duration,
+// time.Time{}, time.Millisecond) stay legal: they carry no clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+var scope string
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      "forbid time.Now/Sleep/timers in engine code: all time must flow through simtime.Clock",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "internal/",
+		"restrict the pass to packages whose import path contains this substring (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if scope != "" && !strings.Contains(pass.Pkg.Path(), scope) {
+		return nil, nil
+	}
+	allow := rodainallow.New(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if !forbidden[sel.Sel.Name] {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return // methods like Time.After carry no clock of their own
+		}
+		if inTestFile(pass, sel) {
+			return
+		}
+		if allow.Allowed("wallclock", sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "time.%s reads the wall clock: engine code must use simtime.Clock (or annotate with //rodain:allow wallclock)", sel.Sel.Name)
+	})
+	return nil, nil
+}
+
+func inTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}

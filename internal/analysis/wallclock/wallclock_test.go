@@ -1,0 +1,24 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	vettest.Run(t, "../testdata", wallclock.Analyzer, "internal/clockuse")
+}
+
+// TestShipperRegression replays the PR-3 bug shape: a real sleep in a
+// group-commit hold loop must be flagged.
+func TestShipperRegression(t *testing.T) {
+	vettest.Run(t, "../testdata", wallclock.Analyzer, "internal/shipper")
+}
+
+// TestScope: packages outside the configured import-path scope are
+// skipped entirely.
+func TestScope(t *testing.T) {
+	vettest.Run(t, "../testdata", wallclock.Analyzer, "example.com/outside")
+}

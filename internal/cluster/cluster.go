@@ -19,12 +19,14 @@ import (
 	"time"
 
 	rodain "repro"
+	"repro/internal/simtime"
 )
 
 // Cluster routes transactions to the RODAIN pair owning their keys.
 type Cluster struct {
 	shards  [][]*rodain.DB // members of each shard (any order; the serving one is found)
 	timeout time.Duration
+	clock   simtime.Clock // times takeover waits; the shared wall clock by default
 }
 
 // New builds a cluster from shard member lists. Each inner slice holds
@@ -43,7 +45,7 @@ func New(shards [][]*rodain.DB, timeout time.Duration) (*Cluster, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	return &Cluster{shards: shards, timeout: timeout}, nil
+	return &Cluster{shards: shards, timeout: timeout, clock: simtime.Wall}, nil
 }
 
 // Shards reports the number of shards.
@@ -119,7 +121,7 @@ func (c *Cluster) ScatterView(deadline time.Duration, fn func(shard int, tx *rod
 // execute runs op on the shard's serving member, waiting out takeovers
 // within the cluster timeout.
 func (c *Cluster) execute(shard int, op func(*rodain.DB) error) error {
-	deadline := time.Now().Add(c.timeout)
+	deadline := c.clock.Now().Add(c.timeout)
 	var lastErr error
 	for {
 		for _, db := range c.shards[shard] {
@@ -130,26 +132,26 @@ func (c *Cluster) execute(shard int, op func(*rodain.DB) error) error {
 			}
 			lastErr = err
 		}
-		if time.Now().After(deadline) {
+		if c.clock.Now() > deadline {
 			return fmt.Errorf("cluster: shard %d has no serving node: %w", shard, lastErr)
 		}
-		time.Sleep(10 * time.Millisecond)
+		simtime.SleepOn(c.clock, 10*time.Millisecond)
 	}
 }
 
 // serving returns the shard's currently serving member.
 func (c *Cluster) serving(shard int) (*rodain.DB, error) {
-	deadline := time.Now().Add(c.timeout)
+	deadline := c.clock.Now().Add(c.timeout)
 	for {
 		for _, db := range c.shards[shard] {
 			if db.Serving() {
 				return db, nil
 			}
 		}
-		if time.Now().After(deadline) {
+		if c.clock.Now() > deadline {
 			return nil, fmt.Errorf("cluster: shard %d has no serving node", shard)
 		}
-		time.Sleep(10 * time.Millisecond)
+		simtime.SleepOn(c.clock, 10*time.Millisecond)
 	}
 }
 

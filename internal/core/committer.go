@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/logstore"
+	"repro/internal/simtime"
 	"repro/internal/wal"
 )
 
@@ -16,7 +17,8 @@ import (
 // share one device sync (group commit) — an ablation the paper does not
 // use but that quantifies the cost of its per-commit sync choice.
 type DiskCommitter struct {
-	log logstore.Store
+	log   logstore.Store
+	clock simtime.Clock
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -41,10 +43,17 @@ type CommitterStats struct {
 	MaxCohort uint64
 }
 
-// NewDiskCommitter returns a committer over log. window > 0 enables
-// group commit.
+// NewDiskCommitter returns a committer over log running on the shared
+// wall clock. window > 0 enables group commit.
 func NewDiskCommitter(log logstore.Store, window time.Duration) *DiskCommitter {
-	d := &DiskCommitter{log: log, window: window}
+	return NewDiskCommitterClock(log, window, simtime.Wall)
+}
+
+// NewDiskCommitterClock is NewDiskCommitter with an explicit clock for
+// the group-commit window, so simulated-time runs gather their cohorts
+// on virtual time.
+func NewDiskCommitterClock(log logstore.Store, window time.Duration, clock simtime.Clock) *DiskCommitter {
+	d := &DiskCommitter{log: log, window: window, clock: clock}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
@@ -85,7 +94,7 @@ func (d *DiskCommitter) Commit(g *wal.Group) error {
 	if !d.syncerUp {
 		d.syncerUp = true
 		d.mu.Unlock()
-		time.Sleep(d.window)
+		simtime.SleepOn(d.clock, d.window)
 		d.mu.Lock()
 		cover := d.appended
 		err := d.log.Sync()

@@ -238,7 +238,7 @@ func buildCommitter(mode LogMode, log logstore.Store, cfg Config) Committer {
 	switch mode {
 	case LogDisk:
 		if cfg.GroupCommitWindow > 0 {
-			return NewDiskCommitter(log, cfg.GroupCommitWindow)
+			return NewDiskCommitterClock(log, cfg.GroupCommitWindow, cfg.Clock)
 		}
 		return NewGroupCommitter(log, GroupOptions{
 			MaxCohort: cfg.MaxCohort,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/logstore"
+	"repro/internal/simtime"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -36,6 +37,7 @@ type MirrorEngine struct {
 	ackedCommits uint64
 	logBuf       []byte
 	opsBuf       []store.Op // group-apply scratch, reused per group
+	logErr       error      // first log-device failure; fails the session
 
 	// applier, when non-nil, fans the database apply out over a
 	// conflict-aware worker pool; receive/ack and the stored log stay
@@ -84,7 +86,7 @@ func (m *MirrorEngine) Applied() uint64 {
 // replay position), processes an optional state transfer, then consumes
 // the log stream. The returned error is ErrPrimaryDown for failures that
 // should trigger takeover.
-func (m *MirrorEngine) Run(conn *transport.Conn) error {
+func (m *MirrorEngine) Run(conn *transport.Conn) (err error) {
 	defer conn.Close()
 
 	m.mu.Lock()
@@ -116,7 +118,12 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 		defer func() {
 			close(m.stopFlush)
 			m.flushWG.Wait()
-			m.log.Sync() // final sync so a clean shutdown loses nothing
+			// Final sync so a clean shutdown loses nothing. The session
+			// is already ending; surface a failure rather than mask the
+			// original error.
+			if serr := m.log.Sync(); serr != nil && err == nil {
+				err = fmt.Errorf("core: mirror: final log sync: %v", serr)
+			}
 		}()
 	}
 
@@ -146,9 +153,9 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 	var snapshotBuf *bytes.Buffer // non-nil while a state transfer is in progress
 	for {
 		if live {
-			conn.SetRecvDeadline(time.Now().Add(watchdog))
+			conn.SetRecvDeadline(time.Now().Add(watchdog)) //rodain:allow wallclock (socket I/O deadlines are wall-clock by nature)
 		} else {
-			conn.SetRecvDeadline(time.Now().Add(handshake))
+			conn.SetRecvDeadline(time.Now().Add(handshake)) //rodain:allow wallclock (socket I/O deadlines are wall-clock by nature)
 		}
 		msg, err := conn.RecvPooled()
 		if err != nil {
@@ -202,10 +209,16 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 			reorderer = wal.NewReorderer(serial + 1)
 			snapshotBuf = nil
 			// Persist the transferred state so this node's own disk
-			// can recover without the peer.
+			// can recover without the peer. A failure here means this
+			// node could not replay alone after a crash — fail the
+			// session instead of running with silently degraded
+			// durability.
 			var cp bytes.Buffer
-			if err := wal.WriteCheckpoint(&cp, snap, serial); err == nil {
-				m.log.Append(cp.Bytes())
+			if err := wal.WriteCheckpoint(&cp, snap, serial); err != nil {
+				return fmt.Errorf("core: mirror: persist state transfer: %v", err)
+			}
+			if err := m.log.Append(cp.Bytes()); err != nil {
+				return fmt.Errorf("core: mirror: persist state transfer: %v", err)
 			}
 		case transport.MsgRecord:
 			live = true
@@ -228,7 +241,12 @@ func (m *MirrorEngine) Run(conn *transport.Conn) error {
 				return fmt.Errorf("core: mirror: %v", err)
 			}
 			for _, g := range groups {
-				m.apply(g)
+				if err := m.apply(g); err != nil {
+					// The database copy is still good, but the stored
+					// log no longer is: stop acking commits this node
+					// could not replay on its own.
+					return fmt.Errorf("core: mirror: log store: %v", err)
+				}
 			}
 		default:
 			typ := msg.Type
@@ -265,7 +283,10 @@ const ackCoalesceMax = 32
 // sequential apply); otherwise the group goes through ApplyGroup inline.
 // Either way its writes become visible atomically, mirroring the
 // primary's write phase, and the stored log stays in validation order.
-func (m *MirrorEngine) apply(g *wal.Group) {
+// A log-device failure (this append, or an earlier background flush) is
+// returned: the mirror must not keep acknowledging commits it cannot
+// replay from its own disk.
+func (m *MirrorEngine) apply(g *wal.Group) error {
 	if m.applier != nil {
 		m.applier.Apply(g)
 	} else {
@@ -287,19 +308,42 @@ func (m *MirrorEngine) apply(g *wal.Group) {
 	if g.Commit.CommitTS > m.maxCommitTS {
 		m.maxCommitTS = g.Commit.CommitTS
 	}
+	logErr := m.logErr
 	m.mu.Unlock()
-	m.log.Append(buf)
+	if logErr != nil {
+		return logErr
+	}
+	if err := m.log.Append(buf); err != nil {
+		m.mu.Lock()
+		if m.logErr == nil {
+			m.logErr = err
+		}
+		m.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
-// flusher syncs the log store periodically, off the commit path.
+// flusher syncs the log store periodically, off the commit path. It
+// runs on the configured clock, so simulated-time runs flush on virtual
+// time. A sync failure is recorded and stops the flusher: the next
+// apply sees it and fails the session rather than acking commits whose
+// local log can no longer reach stable media.
 func (m *MirrorEngine) flusher() {
 	defer m.flushWG.Done()
-	t := time.NewTicker(m.cfg.MirrorSyncEvery)
+	t := simtime.NewTicker(m.cfg.Clock, m.cfg.MirrorSyncEvery)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			m.log.Sync()
+			if err := m.log.Sync(); err != nil {
+				m.mu.Lock()
+				if m.logErr == nil {
+					m.logErr = fmt.Errorf("background flush: %v", err)
+				}
+				m.mu.Unlock()
+				return
+			}
 		case <-m.stopFlush:
 			return
 		}

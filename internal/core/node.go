@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/logstore"
+	"repro/internal/simtime"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -116,7 +117,7 @@ func (n *Node) Engine() *Engine {
 
 func (n *Node) emit(kind EventKind, detail string) {
 	select {
-	case n.events <- Event{Kind: kind, Detail: detail, When: time.Now()}:
+	case n.events <- Event{Kind: kind, Detail: detail, When: time.Now()}: //rodain:allow wallclock (observability timestamp on an exported event, not engine control flow)
 	default:
 	}
 }
@@ -185,7 +186,7 @@ func (n *Node) acceptMirrors() {
 // attachMirror performs the handshake and state transfer for a joining
 // mirror and switches the commit path to log shipping.
 func (n *Node) attachMirror(conn *transport.Conn) {
-	conn.SetRecvDeadline(time.Now().Add(5 * time.Second))
+	conn.SetRecvDeadline(time.Now().Add(5 * time.Second)) //rodain:allow wallclock (socket I/O deadlines are wall-clock by nature)
 	hello, err := conn.Recv()
 	if err != nil || hello.Type != transport.MsgHello {
 		conn.Close()
@@ -298,7 +299,7 @@ func (n *Node) mirrorLost() {
 // recovered peer can rejoin as mirror), and returns nil. Any other error
 // is returned.
 func (n *Node) RunMirror(primaryAddr, takeoverListen string) error {
-	conn, err := dialRetry(primaryAddr, 5*time.Second)
+	conn, err := dialRetry(primaryAddr, 5*time.Second, n.cfg.Clock)
 	if err != nil {
 		return err
 	}
@@ -453,18 +454,18 @@ func (n *Node) Crash() {
 	n.wg.Wait()
 }
 
-// dialRetry dials addr until it answers or the budget runs out — the
-// peer may still be starting up.
-func dialRetry(addr string, budget time.Duration) (*transport.Conn, error) {
-	deadline := time.Now().Add(budget)
+// dialRetry dials addr until it answers or the budget runs out on
+// clock — the peer may still be starting up.
+func dialRetry(addr string, budget time.Duration, clock simtime.Clock) (*transport.Conn, error) {
+	deadline := clock.Now().Add(budget)
 	for {
 		conn, err := transport.Dial(addr, time.Second)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		if clock.Now() > deadline {
 			return nil, fmt.Errorf("core: dial %s: %w", addr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		simtime.SleepOn(clock, 20*time.Millisecond)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/logstore"
+	"repro/internal/simtime"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -481,7 +482,7 @@ func TestRecoverFromLogSeedsServingEngine(t *testing.T) {
 
 func TestDialRetryFailsEventually(t *testing.T) {
 	start := time.Now()
-	_, err := dialRetry("127.0.0.1:1", 200*time.Millisecond)
+	_, err := dialRetry("127.0.0.1:1", 200*time.Millisecond, simtime.Wall)
 	if err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}

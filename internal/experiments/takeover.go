@@ -41,6 +41,7 @@ func (t *throttledReader) Read(p []byte) (int, error) {
 	if n > 0 {
 		t.debt += time.Duration(n) * t.perByte
 		if t.debt >= time.Millisecond {
+			//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 			time.Sleep(t.debt)
 			t.debt = 0
 		}
@@ -113,6 +114,7 @@ func takeoverOne(objects, logTail int) (TakeoverResult, error) {
 		}
 	}
 
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	start := time.Now()
 	fresh := store.New()
 	snap, serial, err := wal.ReadCheckpoint(bufio.NewReaderSize(
@@ -126,6 +128,7 @@ func takeoverOne(objects, logTail int) (TakeoverResult, error) {
 		newThrottledReader(bytes.NewReader(tail.Bytes()), diskReadBandwidth), 64<<10), fresh); err != nil {
 		return res, err
 	}
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	res.RecoveryTime = time.Since(start)
 
 	// --- (a) live mirror takeover ---------------------------------------
@@ -156,11 +159,13 @@ func takeoverOne(objects, logTail int) (TakeoverResult, error) {
 		}
 	}
 
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	crash := time.Now()
 	primary.Crash()
 	if err := waitFor(mirror, core.EventTakeover, 10*time.Second); err != nil {
 		return res, err
 	}
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	res.DetectionTime = time.Since(crash)
 	// First transaction on the promoted node.
 	if err := mirror.Execute(core.Request{Deadline: time.Second, Do: func(tx *core.Tx) error {
@@ -168,6 +173,7 @@ func takeoverOne(objects, logTail int) (TakeoverResult, error) {
 	}}); err != nil {
 		return res, err
 	}
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	res.TakeoverTime = time.Since(crash)
 	return res, nil
 }
@@ -175,6 +181,7 @@ func takeoverOne(objects, logTail int) (TakeoverResult, error) {
 func txnID(i int) txn.ID { return txn.ID(i) }
 
 func waitFor(n *core.Node, kind core.EventKind, within time.Duration) error {
+	//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 	deadline := time.After(within)
 	for {
 		select {
@@ -217,20 +224,20 @@ func ReorderAblation(txns, writesPer int) *metrics.Table {
 	for i := 0; i < txns; i++ {
 		id := txnID(i) + 1
 		for w := 0; w < writesPer; w++ {
-			wal.Encode(grouped, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
+			mustEncode(grouped, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
 		}
-		wal.Encode(grouped, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
+		mustEncode(grouped, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
 	}
 	// Interleaved: all writes first, then all commit records — the
 	// worst case an unordered stream can produce.
 	for i := 0; i < txns; i++ {
 		for w := 0; w < writesPer; w++ {
-			wal.Encode(interleaved, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
+			mustEncode(interleaved, &wal.Record{Type: wal.TypeWrite, TxnID: 1 + txnID(i), ObjectID: store.ObjectID(w), AfterImage: []byte{byte(i)}})
 		}
 	}
 	for i := 0; i < txns; i++ {
 		id := txnID(i) + 1
-		wal.Encode(interleaved, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
+		mustEncode(interleaved, &wal.Record{Type: wal.TypeCommit, TxnID: 1 + txnID(i), SerialOrder: uint64(id), CommitTS: uint64(id) * 65536})
 	}
 
 	t := &metrics.Table{
@@ -265,6 +272,7 @@ func GroupCommitAblation(diskLatency time.Duration, windows []time.Duration, com
 		mem := logstore.NewMem()
 		slow := logstore.NewDelayed(mem, diskLatency)
 		d := core.NewDiskCommitter(slow, w)
+		//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 		start := time.Now()
 		done := make(chan error, commits)
 		for i := 0; i < commits; i++ {
@@ -280,6 +288,7 @@ func GroupCommitAblation(diskLatency time.Duration, windows []time.Duration, com
 				break
 			}
 		}
+		//rodain:allow wallclock (benchmark harness: measures real elapsed time of real work)
 		elapsed := time.Since(start)
 		d.Close()
 		t.AddRow(w.String(), elapsed.Round(time.Millisecond).String(),

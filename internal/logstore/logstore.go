@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/simtime"
 )
 
 // Store is an append-only log device. Append buffers data; Sync forces
@@ -298,6 +300,10 @@ type Delayed struct {
 	Inner Store
 	// SyncDelay is added to every Sync call.
 	SyncDelay time.Duration
+	// Clock times the emulated device latency. Nil uses the shared wall
+	// clock; a simtime.SimClock makes the emulated disk run on virtual
+	// time.
+	Clock simtime.Clock
 
 	mu      sync.Mutex // serializes syncs like a single disk head
 	pending int
@@ -318,7 +324,11 @@ func (d *Delayed) AppendBatch(chunks [][]byte) error { return d.Inner.AppendBatc
 func (d *Delayed) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	time.Sleep(d.SyncDelay)
+	clock := d.Clock
+	if clock == nil {
+		clock = simtime.Wall
+	}
+	simtime.SleepOn(clock, d.SyncDelay)
 	return d.Inner.Sync()
 }
 

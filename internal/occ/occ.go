@@ -677,6 +677,7 @@ func (c *Controller) adjustConflicting(t *txn.Transaction, ts uint64) []*txn.Tra
 		sh := c.objShardFor(id)
 		sh.mu.Lock()
 		os := sh.ensure(id)
+		//rodain:allow lockorder (IsDelete is a pure predicate on the txn's own write set; it takes no locks)
 		if t.IsDelete(id) {
 			if ts > os.committedDelete {
 				os.committedDelete = ts
@@ -737,6 +738,7 @@ func (c *Controller) publishOverlay(t *txn.Transaction, ts uint64) {
 		sh := c.objShardFor(id)
 		sh.mu.Lock()
 		os := sh.ensure(id)
+		//rodain:allow lockorder (IsDelete is a pure predicate on the txn's own write set; it takes no locks)
 		if t.IsDelete(id) {
 			if ts > os.committedDelete {
 				os.committedDelete = ts
@@ -772,6 +774,7 @@ func (c *Controller) applyAndRetire(t *txn.Transaction, ts uint64) {
 			// Only retire our own publication: a later accepted writer
 			// may have raised the overlay past ts, and its window is
 			// still open.
+			//rodain:allow lockorder (IsDelete is a pure predicate on the txn's own write set; it takes no locks)
 			if t.IsDelete(id) {
 				if os.committedDelete == ts {
 					os.committedDelete = 0

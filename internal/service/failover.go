@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/simtime"
 )
 
 // FailoverClient is a client that knows every node of a RODAIN pair and
@@ -16,6 +18,7 @@ type FailoverClient struct {
 	addrs   []string
 	timeout time.Duration
 	budget  time.Duration
+	clock   simtime.Clock // times the failover budget; the shared wall clock by default
 
 	mu  sync.Mutex
 	cur int
@@ -32,7 +35,7 @@ func DialFailover(addrs []string, timeout, budget time.Duration) (*FailoverClien
 	if budget <= 0 {
 		budget = 5 * time.Second
 	}
-	f := &FailoverClient{addrs: addrs, timeout: timeout, budget: budget}
+	f := &FailoverClient{addrs: addrs, timeout: timeout, budget: budget, clock: simtime.Wall}
 	if err := f.reconnectLocked(); err != nil {
 		return nil, err
 	}
@@ -75,7 +78,7 @@ func (f *FailoverClient) Current() string {
 func (f *FailoverClient) Do(line string) (string, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	deadline := time.Now().Add(f.budget)
+	deadline := f.clock.Now().Add(f.budget)
 	var lastErr error
 	for {
 		if f.c != nil {
@@ -92,13 +95,13 @@ func (f *FailoverClient) Do(line string) (string, error) {
 			f.c.Close()
 			f.c = nil
 		}
-		if time.Now().After(deadline) {
+		if f.clock.Now() > deadline {
 			return "", fmt.Errorf("service: failover budget exhausted: %w", lastErr)
 		}
 		f.cur = (f.cur + 1) % len(f.addrs)
 		if err := f.reconnectLocked(); err != nil {
 			lastErr = err
-			time.Sleep(20 * time.Millisecond)
+			simtime.SleepOn(f.clock, 20*time.Millisecond)
 		}
 	}
 }

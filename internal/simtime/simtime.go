@@ -7,6 +7,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -206,13 +207,80 @@ func (c SimClock) AfterFunc(d Duration, fn func()) func() bool {
 type WallClock struct{ start time.Time }
 
 // NewWallClock returns a wall clock whose origin is now.
-func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} } //rodain:allow wallclock (the wall-clock implementation is where real time enters)
 
 // Now implements Clock.
-func (c *WallClock) Now() Time { return Time(time.Since(c.start)) }
+func (c *WallClock) Now() Time { return Time(time.Since(c.start)) } //rodain:allow wallclock (the wall-clock implementation is where real time enters)
 
 // AfterFunc implements Clock.
 func (c *WallClock) AfterFunc(d Duration, fn func()) func() bool {
-	t := time.AfterFunc(d, fn)
+	t := time.AfterFunc(d, fn) //rodain:allow wallclock (the wall-clock implementation is where real time enters)
 	return t.Stop
+}
+
+// Wall is a process-wide wall clock: the default for components whose
+// caller did not inject a clock. Sharing one instance keeps every
+// uninjected component on the same timeline.
+var Wall = NewWallClock()
+
+// SleepOn blocks until d has elapsed on c — the clock-respecting
+// replacement for time.Sleep. Under a SimClock it blocks until the
+// simulation loop advances past the deadline, so code using it stays
+// deterministic in simulated runs.
+func SleepOn(c Clock, d Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	c.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// Ticker delivers a tick on C every period, driven by an arbitrary
+// Clock — the clock-respecting replacement for time.NewTicker. Like
+// time.Ticker it drops ticks a slow receiver misses (C has a one-slot
+// buffer) and does not close C on Stop.
+type Ticker struct {
+	C chan struct{}
+
+	mu      sync.Mutex
+	clock   Clock
+	period  Duration
+	cancel  func() bool
+	stopped bool
+}
+
+// NewTicker returns a started ticker on c firing every period.
+func NewTicker(c Clock, period Duration) *Ticker {
+	if period <= 0 {
+		panic("simtime: non-positive ticker period")
+	}
+	t := &Ticker{C: make(chan struct{}, 1), clock: c, period: period}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.cancel = t.clock.AfterFunc(t.period, func() {
+		select {
+		case t.C <- struct{}{}:
+		default: // receiver is behind; drop the tick like time.Ticker
+		}
+		t.arm()
+	})
+}
+
+// Stop cancels future ticks. It does not drain C.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.cancel != nil {
+		t.cancel()
+	}
 }
