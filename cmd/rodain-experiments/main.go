@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, shipscaling, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, shipscaling, ckpt, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -134,6 +134,21 @@ func main() {
 		fmt.Println()
 	}
 
+	runCheckpoint := func() {
+		sizes := []int{2000, 8000, 32000}
+		tail := 1000
+		if *quick {
+			sizes = []int{2000, 8000}
+			tail = 300
+		}
+		rs, err := experiments.CheckpointStudy(sizes, tail)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.CheckpointTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runAblations := func() {
 		experiments.ProtocolAblation(opts).Fprint(os.Stdout)
 		fmt.Println()
@@ -162,6 +177,7 @@ func main() {
 		runRecoveryScaling()
 		runOCCScaling()
 		runShipScaling()
+		runCheckpoint()
 		runAblations()
 		runTimeline()
 	case "takeover":
@@ -172,6 +188,8 @@ func main() {
 		runOCCScaling()
 	case "shipscaling", "ship-scaling", "ship":
 		runShipScaling()
+	case "ckpt", "checkpoint":
+		runCheckpoint()
 	case "ablations", "ablation":
 		runAblations()
 	case "timeline", "failover":

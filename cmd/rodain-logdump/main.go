@@ -1,10 +1,13 @@
-// Command rodain-logdump inspects a RODAIN log file: it prints records,
-// summarizes committed and uncommitted transactions, and can dry-run the
-// recovery pass.
+// Command rodain-logdump inspects RODAIN log artifacts: it prints
+// records, summarizes committed and uncommitted transactions, dry-runs
+// the recovery pass, decodes checkpoint files, and walks segmented log
+// directories in order.
 //
 //	rodain-logdump primary.wal
 //	rodain-logdump -recover -v primary.wal
 //	rodain-logdump -recover -workers 4 primary.wal   # parallel replay
+//	rodain-logdump -ckpt ckptdir/checkpoint.ckpt     # checkpoint header
+//	rodain-logdump logdir                            # segment directory
 package main
 
 import (
@@ -15,8 +18,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/logstore"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -26,94 +31,224 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every record")
 		recover_ = flag.Bool("recover", false, "dry-run the recovery pass and report the resulting database")
 		workers  = flag.Int("workers", 1, "recovery apply workers (0 = one per CPU, <=1 = sequential)")
+		ckpt     = flag.Bool("ckpt", false, "decode the argument as a checkpoint file: format version, stripe watermarks, record count")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rodain-logdump [-v] [-recover] [-workers N] <logfile>")
+		fmt.Fprintln(os.Stderr, "usage: rodain-logdump [-v] [-recover] [-workers N] [-ckpt] <logfile|segmentdir|checkpoint>")
 		os.Exit(2)
 	}
-	rawFile, err := os.Open(flag.Arg(0))
+	path := flag.Arg(0)
+
+	if *ckpt {
+		dumpCheckpoint(path)
+		return
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *recover_ {
+		r := openLog(path, fi.IsDir())
+		defer r.Close()
+		dryRecover(r, *workers)
+		return
+	}
+
+	if fi.IsDir() {
+		dumpSegments(path, *verbose)
+		return
+	}
+	rawFile, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rawFile.Close()
 	// Buffered: record-at-a-time decoding over a raw file pays a read
 	// syscall per record.
-	f := bufio.NewReaderSize(rawFile, 256<<10)
+	sum := summarize(bufio.NewReaderSize(rawFile, 256<<10), *verbose)
+	sum.print()
+}
 
-	if *recover_ {
-		w := *workers
-		if w == 0 {
-			w = wal.DefaultRecoverWorkers()
-		} else if w < 1 {
-			w = 1
-		}
-		db := store.New()
-		start := time.Now()
-		st, err := wal.ParallelRecover(f, db, w)
-		elapsed := time.Since(start)
+// openLog opens a single log file or a segment directory as one stream.
+func openLog(path string, isDir bool) io.ReadCloser {
+	if isDir {
+		r, err := logstore.OpenSegmentsReader(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("recovery: %d transactions applied, %d writes, %d uncommitted discarded\n",
-			st.Applied, st.WritesApplied, st.Discarded)
-		fmt.Printf("          last serial %d, truncated tail: %v, peak buffered records: %d\n",
-			st.LastSerial, st.Truncated, st.PeakBuffered)
-		rate := 0.0
-		if s := elapsed.Seconds(); s > 0 {
-			rate = float64(st.Applied) / s
-		}
-		fmt.Printf("          replayed in %v with %d worker(s) (%.0f txn/s)\n",
-			elapsed.Round(time.Microsecond), w, rate)
-		fmt.Printf("database: %d objects, checksum %08x\n", db.Len(), db.Checksum())
-		return
+		return r
 	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return struct {
+		io.Reader
+		io.Closer
+	}{bufio.NewReaderSize(f, 256<<10), f}
+}
 
-	var (
-		records, writes, deletes, commits, aborts, heartbeats int
-		bytesTotal                                            int
-		committed                                             = map[uint64]bool{}
-		seen                                                  = map[uint64]bool{}
-	)
+func dryRecover(r io.Reader, workers int) {
+	w := workers
+	if w == 0 {
+		w = wal.DefaultRecoverWorkers()
+	} else if w < 1 {
+		w = 1
+	}
+	db := store.New()
+	start := time.Now()
+	st, err := wal.ParallelRecover(r, db, w)
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d transactions applied, %d writes, %d uncommitted discarded\n",
+		st.Applied, st.WritesApplied, st.Discarded)
+	fmt.Printf("          last serial %d, truncated tail: %v, peak buffered records: %d\n",
+		st.LastSerial, st.Truncated, st.PeakBuffered)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(st.Applied) / s
+	}
+	fmt.Printf("          replayed in %v with %d worker(s) (%.0f txn/s)\n",
+		elapsed.Round(time.Microsecond), w, rate)
+	fmt.Printf("database: %d objects, checksum %08x\n", db.Len(), db.Checksum())
+}
+
+// summary tallies one record stream.
+type summary struct {
+	records, writes, deletes, commits, aborts, heartbeats int
+	bytesTotal                                            int
+	maxSerial                                             uint64
+	truncated                                             bool
+	committed, seen                                       map[uint64]bool
+}
+
+func summarize(r io.Reader, verbose bool) *summary {
+	s := &summary{committed: map[uint64]bool{}, seen: map[uint64]bool{}}
+	s.scan(r, verbose)
+	return s
+}
+
+func (s *summary) scan(r io.Reader, verbose bool) {
 	for {
-		rec, err := wal.Decode(f)
+		rec, err := wal.Decode(r)
 		if err != nil {
 			switch {
 			case err == io.EOF:
 			case err == io.ErrUnexpectedEOF || errors.Is(err, wal.ErrCorrupt):
-				fmt.Printf("-- truncated/corrupt tail after %d records --\n", records)
+				s.truncated = true
+				fmt.Printf("-- truncated/corrupt tail after %d records --\n", s.records)
 			default:
 				log.Fatal(err)
 			}
-			break
+			return
 		}
-		records++
-		bytesTotal += wal.EncodedSize(rec)
-		seen[uint64(rec.TxnID)] = true
+		s.records++
+		s.bytesTotal += wal.EncodedSize(rec)
+		s.seen[uint64(rec.TxnID)] = true
 		switch rec.Type {
 		case wal.TypeWrite:
-			writes++
+			s.writes++
 		case wal.TypeDelete:
-			deletes++
+			s.deletes++
 		case wal.TypeCommit:
-			commits++
-			committed[uint64(rec.TxnID)] = true
+			s.commits++
+			s.committed[uint64(rec.TxnID)] = true
+			if rec.SerialOrder > s.maxSerial {
+				s.maxSerial = rec.SerialOrder
+			}
 		case wal.TypeAbort:
-			aborts++
+			s.aborts++
 		case wal.TypeHeartbeat:
-			heartbeats++
+			s.heartbeats++
 		}
-		if *verbose {
+		if verbose {
 			fmt.Println(rec)
 		}
 	}
+}
+
+func (s *summary) print() {
+	fmt.Printf("%d records (%d bytes): %d writes, %d deletes, %d commits, %d aborts, %d heartbeats\n",
+		s.records, s.bytesTotal, s.writes, s.deletes, s.commits, s.aborts, s.heartbeats)
 	uncommitted := 0
-	for id := range seen {
-		if !committed[id] {
+	for id := range s.seen {
+		if !s.committed[id] {
 			uncommitted++
 		}
 	}
-	fmt.Printf("%d records (%d bytes): %d writes, %d deletes, %d commits, %d aborts, %d heartbeats\n",
-		records, bytesTotal, writes, deletes, commits, aborts, heartbeats)
-	fmt.Printf("%d transactions touched, %d without a commit record\n", len(seen), uncommitted)
+	fmt.Printf("%d transactions touched, %d without a commit record\n", len(s.seen), uncommitted)
+}
+
+// dumpSegments walks a segmented log directory in log order, timing and
+// summarizing each segment, then prints stream totals.
+func dumpSegments(dir string, verbose bool) {
+	names, err := logstore.ListSegments(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(names) == 0 {
+		fmt.Printf("no segments in %s\n", dir)
+		return
+	}
+	total := &summary{committed: map[uint64]bool{}, seen: map[uint64]bool{}}
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := *total
+		start := time.Now()
+		total.scan(bufio.NewReaderSize(f, 256<<10), verbose)
+		elapsed := time.Since(start)
+		f.Close()
+		fmt.Printf("segment %s: %d records (%d bytes), %d commits, max serial %d, scanned in %v\n",
+			name, total.records-before.records, total.bytesTotal-before.bytesTotal,
+			total.commits-before.commits, total.maxSerial, elapsed.Round(time.Microsecond))
+	}
+	fmt.Printf("-- %d segments --\n", len(names))
+	total.print()
+}
+
+// dumpCheckpoint decodes a checkpoint file of either format and prints
+// its header facts; fuzzy (v2) checkpoints include the per-stripe
+// watermark vector.
+func dumpCheckpoint(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ck, err := wal.DecodeCheckpoint(bufio.NewReaderSize(f, 256<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind := "frozen (transaction-consistent)"
+	if ck.Version == 2 {
+		kind = "fuzzy (stripe-incremental)"
+	}
+	bytes := 0
+	for _, rec := range ck.Snapshot {
+		bytes += len(rec.Value)
+	}
+	fmt.Printf("checkpoint v%d: %s\n", ck.Version, kind)
+	fmt.Printf("%d records (%d value bytes), last serial %d\n", len(ck.Snapshot), bytes, ck.LastSerial)
+	if ck.Watermarks == nil {
+		fmt.Println("no stripe watermarks: replay the whole log tail over the snapshot")
+		return
+	}
+	wm := ck.Watermarks
+	fmt.Printf("%d stripe watermarks: min %d, max %d (log below %d is redundant)\n",
+		wm.Stripes(), wm.Min(), wm.Max(), wm.Min())
+	for i := 0; i < wm.Stripes(); i += 8 {
+		fmt.Printf("  [%3d]", i)
+		for j := i; j < i+8 && j < wm.Stripes(); j++ {
+			fmt.Printf(" %10d", wm.Mark(j))
+		}
+		fmt.Println()
+	}
 }

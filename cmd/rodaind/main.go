@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	rodain "repro"
+	"repro/internal/logstore"
 	"repro/internal/service"
 	"repro/internal/telecom"
 )
@@ -39,10 +41,13 @@ func main() {
 		durability = flag.String("durability", "disk", "single-node commit path: disk, relaxed, none")
 		protocol   = flag.String("occ", "dati", "concurrency control: dati, ti, da, bc")
 		workers    = flag.Int("workers", 2, "executor goroutines")
-		recover_   = flag.String("recover", "", "replay this log file into the database before serving")
+		recover_   = flag.String("recover", "", "replay this log file or segment directory into the database before serving")
 		recWorkers = flag.Int("recover-workers", 0, "parallel log-replay workers (0 = one per CPU, <0 = sequential)")
 		ckptDir    = flag.String("checkpoint-dir", "", "write periodic checkpoints here (and truncate the log)")
-		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -checkpoint-dir is set")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -checkpoint-dir is set (0 = off)")
+		ckptBytes  = flag.Uint64("checkpoint-bytes", 0, "also checkpoint after this much log growth (0 = off)")
+		frozenCkpt = flag.Bool("frozen-checkpoint", false, "use the legacy stop-the-world checkpoint instead of the fuzzy one (ablation)")
+		segBytes   = flag.Int64("log-segment-bytes", 0, "roll the log into -log/<segments> at this size so checkpoints drop whole segments (0 = single file)")
 		groupWin   = flag.Duration("group-commit", 0, "legacy fixed-window disk batching (0 = adaptive leader/follower group fsync)")
 		maxCohort  = flag.Int("max-cohort", 0, "max transactions per group-commit cohort (0 = default 64)")
 		cohortHold = flag.Duration("cohort-hold", 0, "max adaptive hold for group-commit stragglers (0 = default 200µs, <0 = off)")
@@ -50,14 +55,19 @@ func main() {
 	flag.Parse()
 
 	opts := rodain.Options{
-		Name:              fmt.Sprintf("rodaind-%s", *role),
-		LogPath:           *logPath,
-		Protocol:          *protocol,
-		Workers:           *workers,
-		GroupCommitWindow: *groupWin,
-		MaxCohort:         *maxCohort,
-		MaxCohortHold:     *cohortHold,
-		RecoverWorkers:    *recWorkers,
+		Name:               fmt.Sprintf("rodaind-%s", *role),
+		LogPath:            *logPath,
+		Protocol:           *protocol,
+		Workers:            *workers,
+		GroupCommitWindow:  *groupWin,
+		MaxCohort:          *maxCohort,
+		MaxCohortHold:      *cohortHold,
+		RecoverWorkers:     *recWorkers,
+		LogSegmentBytes:    *segBytes,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointLogBytes: *ckptBytes,
+		FrozenCheckpoint:   *frozenCkpt,
 	}
 	switch *durability {
 	case "disk":
@@ -95,7 +105,27 @@ func main() {
 	}
 	defer db.Close()
 
-	if *recover_ != "" {
+	if *ckptDir != "" {
+		// Restore checkpoint + log tail as one pass: the tail replays
+		// over the snapshot per stripe watermark, so ordering is handled
+		// inside RecoverFromDir instead of here.
+		var tail io.Reader
+		if *recover_ != "" {
+			rc, err := openLogReader(*recover_)
+			if err != nil {
+				log.Fatalf("recover: %v", err)
+			}
+			defer rc.Close()
+			tail = rc
+		}
+		start := time.Now()
+		if st, err := db.RecoverFromDir(*ckptDir, tail); err != nil {
+			log.Fatalf("checkpoint recovery: %v", err)
+		} else if st.LastSerial > 0 {
+			log.Printf("restored checkpoint+tail to serial %d (%d txns replayed, %d writes skipped) in %v",
+				st.LastSerial, st.Applied, st.WritesSkipped, time.Since(start).Round(time.Millisecond))
+		}
+	} else if *recover_ != "" {
 		if err := recoverInto(db, *recover_); err != nil {
 			log.Fatalf("recover: %v", err)
 		}
@@ -126,45 +156,42 @@ func main() {
 		}
 	}()
 
-	if *ckptDir != "" {
-		// Recover from an existing checkpoint first, then checkpoint
-		// periodically: the checkpoint-and-truncate cycle that bounds
-		// restart recovery.
-		if st, err := db.RecoverFromDir(*ckptDir, nil); err != nil {
-			log.Printf("checkpoint recovery: %v", err)
-		} else if st.LastSerial > 0 {
-			log.Printf("restored checkpoint at serial %d", st.LastSerial)
-		}
-		go func() {
-			t := time.NewTicker(*ckptEvery)
-			defer t.Stop()
-			for range t.C {
-				serial, err := db.CheckpointToDir(*ckptDir)
-				if err != nil {
-					log.Printf("checkpoint: %v", err)
-					continue
-				}
-				log.Printf("checkpoint written at serial %d", serial)
-			}
-		}()
-	}
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down; final stats: %+v", db.Stats().Outcome)
 }
 
-func recoverInto(db *rodain.DB, path string) error {
+// openLogReader opens a stored log for replay: a single log file, or a
+// directory of segments written by -log-segment-bytes (read in order).
+func openLogReader(path string) (io.ReadCloser, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return logstore.OpenSegmentsReader(path)
+	}
 	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Buffered: the replay decodes one record at a time and would
+	// otherwise pay a read syscall per record.
+	return struct {
+		io.Reader
+		io.Closer
+	}{bufio.NewReaderSize(f, 256<<10), f}, nil
+}
+
+func recoverInto(db *rodain.DB, path string) error {
+	r, err := openLogReader(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer r.Close()
 	start := time.Now()
-	// Buffered: the replay decodes one record at a time and would
-	// otherwise pay a read syscall per record.
-	st, err := db.Recover(bufio.NewReaderSize(f, 256<<10))
+	st, err := db.Recover(r)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,10 @@
 // whose method set includes Append([]byte) error and Sync() error —
 // the logstore.Store contract — so the pass needs no dependency on the
 // logstore package and covers test doubles too. WAL writer calls are
-// matched by package name: wal.Encode and wal.WriteCheckpoint.
+// matched by package name: wal.Encode, wal.WriteCheckpoint and the
+// fuzzy-checkpoint header/trailer writers. The checkpoint publish path
+// is covered too: (*os.File).Sync and os.Rename — a dropped error there
+// lets a checkpoint that never reached disk justify truncating the log.
 //
 // Both silently dropped results (s.Sync() as a statement, go/defer
 // s.Sync()) and explicit discards (_ = s.Sync()) are flagged; a
@@ -42,10 +45,21 @@ var storeMethods = map[string]bool{
 }
 
 // walFuncs are the package-level WAL writers whose errors mean the redo
-// stream was not written.
+// stream — or a checkpoint a truncated log depends on — was not written.
 var walFuncs = map[string]bool{
-	"Encode":          true,
-	"WriteCheckpoint": true,
+	"Encode":                 true,
+	"WriteCheckpoint":        true,
+	"WriteCheckpointHeader":  true,
+	"WriteCheckpointTrailer": true,
+}
+
+// osFuncs are the os-package calls on the checkpoint publish path whose
+// errors, if dropped, let a checkpoint that never reached disk justify
+// truncating the log: the rename that publishes checkpoint.tmp, and the
+// file/directory fsync that makes it durable ((*os.File).Sync is matched
+// as a method, below).
+var osFuncs = map[string]bool{
+	"Rename": true,
 }
 
 // Analyzer is the durability pass.
@@ -142,11 +156,31 @@ func critical(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	if sig.Recv() != nil {
-		// Method call: is the receiver a log device?
-		return storeMethods[fn.Name()] && isLogDevice(sig.Recv().Type())
+		// Method call: a log device, or an os.File fsync (checkpoint
+		// files and directories are made durable through it)?
+		if storeMethods[fn.Name()] && isLogDevice(sig.Recv().Type()) {
+			return true
+		}
+		return fn.Name() == "Sync" && isOSFile(sig.Recv().Type())
 	}
-	// Package-level call: a WAL writer?
-	return fn.Pkg() != nil && fn.Pkg().Name() == "wal" && walFuncs[fn.Name()]
+	if fn.Pkg() == nil {
+		return false
+	}
+	// Package-level call: a WAL writer, or a checkpoint-publishing os
+	// call?
+	if fn.Pkg().Name() == "wal" && walFuncs[fn.Name()] {
+		return true
+	}
+	return fn.Pkg().Path() == "os" && osFuncs[fn.Name()]
+}
+
+// isOSFile reports whether t is *os.File or os.File.
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os" && n.Obj().Name() == "File"
 }
 
 func lastResultIsError(sig *types.Signature) bool {

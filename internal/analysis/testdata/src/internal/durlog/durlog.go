@@ -1,11 +1,14 @@
 // Package durlog exercises the durability pass: ignored and discarded
 // errors on a structurally recognized log device (Append/Sync), on the
-// wal package-level writers, plus the checked-good paths and the
-// //rodain:allow escape hatch.
+// wal package-level writers (including the fuzzy-checkpoint header and
+// trailer), and on the checkpoint publish path (os.File fsync,
+// os.Rename), plus the checked-good paths and the //rodain:allow escape
+// hatch.
 package durlog
 
 import (
 	"bytes"
+	"os"
 
 	"internal/wal"
 )
@@ -28,9 +31,36 @@ func ignored(d *Dev, b []byte) {
 }
 
 func encodeIgnored(buf *bytes.Buffer, r *wal.Record) {
-	wal.Encode(buf, r)            // want `Encode error ignored`
-	wal.WriteCheckpoint(buf, nil) // want `WriteCheckpoint error ignored`
-	_ = wal.Encode(buf, r)        // want `Encode error discarded into _`
+	wal.Encode(buf, r)                   // want `Encode error ignored`
+	wal.WriteCheckpoint(buf, nil)        // want `WriteCheckpoint error ignored`
+	_ = wal.Encode(buf, r)               // want `Encode error discarded into _`
+	wal.WriteCheckpointHeader(buf, 64)   // want `WriteCheckpointHeader error ignored`
+	wal.WriteCheckpointTrailer(buf, nil) // want `WriteCheckpointTrailer error ignored`
+}
+
+// checkpointPublish: the tmp→final rename and the file/dir fsyncs that
+// make a checkpoint durable are as critical as the log writes the
+// checkpoint lets us truncate.
+func checkpointPublish(f *os.File, dir *os.File) {
+	f.Sync()                         // want `Sync error ignored`
+	defer dir.Sync()                 // want `Sync error ignored \(deferred\)`
+	os.Rename("a.tmp", "a.ckpt")     // want `Rename error ignored`
+	_ = os.Rename("a.tmp", "a.ckpt") // want `Rename error discarded into _`
+}
+
+func checkedPublish(f *os.File, dir *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename("a.tmp", "a.ckpt"); err != nil {
+		return err
+	}
+	return dir.Sync()
+}
+
+func harmlessOS(f *os.File) {
+	f.Close()          // Close is not on the publish path: not flagged
+	os.Remove("a.tmp") // stale-tmp cleanup is best-effort: not flagged
 }
 
 func checked(d *Dev, b []byte) error {

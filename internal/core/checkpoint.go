@@ -15,9 +15,10 @@ import (
 // Checkpoint writes a transaction-consistent snapshot of the node's
 // database to w and returns the validation order it corresponds to.
 // Validation is frozen for the duration of the snapshot copy (not the
-// encoding), exactly as for mirror state transfer. Replaying the log
-// from the returned serial over the checkpoint reproduces the current
-// database.
+// encoding), exactly as for mirror state transfer — this is the
+// stop-the-world path FuzzyCheckpoint replaces; it stays as the
+// Config.FrozenCheckpoint ablation. Replaying the log from the returned
+// serial over the checkpoint reproduces the current database.
 func (n *Node) Checkpoint(w io.Writer) (uint64, error) {
 	n.mu.Lock()
 	engine := n.engine
@@ -29,34 +30,75 @@ func (n *Node) Checkpoint(w io.Writer) (uint64, error) {
 		serial uint64
 		data   []store.Record
 	)
+	start := n.cfg.Clock.Now()
 	engine.Controller().WithFrozen(func(lastSerial uint64) {
 		serial = lastSerial
 		data = n.db.Snapshot()
 	})
+	// The whole freeze lands in the pause histogram, so frozen and fuzzy
+	// cycles are directly comparable: per-commit stall is one whole-store
+	// freeze here versus one stripe copy there.
+	n.ckptPause.Observe(n.cfg.Clock.Now().Sub(start))
 	if err := wal.WriteCheckpoint(w, data, serial); err != nil {
 		return 0, err
 	}
 	return serial, nil
 }
 
+// checkpointFile names within a checkpoint directory.
+const (
+	checkpointTmp   = "checkpoint.tmp"
+	checkpointFinal = "checkpoint.ckpt"
+)
+
 // CheckpointToDir writes a checkpoint file into dir atomically
-// (tmp+rename) and then truncates the node's log if the log device
-// supports it: the classic checkpoint-and-truncate cycle that bounds
+// (tmp+rename+directory fsync) and then truncates the node's log below
+// the checkpoint's minimum stripe watermark if the log device supports
+// serial truncation: the checkpoint-and-truncate cycle that bounds
 // recovery time. It returns the checkpoint's serial.
 //
-// Ordering matters: the checkpoint is durable before the log shrinks, so
-// a crash at any point leaves a recoverable pair on disk.
+// The checkpoint is fuzzy (stripe-incremental, no validation freeze)
+// unless Config.FrozenCheckpoint selects the legacy stop-the-world copy.
+//
+// Ordering matters: the checkpoint — and the rename that publishes it —
+// is durable before the log shrinks, so a crash at any point leaves a
+// recoverable pair on disk. A stale checkpoint.tmp from an earlier
+// failed attempt is removed first; it was never published and holds
+// nothing recovery may read.
 func (n *Node) CheckpointToDir(dir string) (uint64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	tmp := filepath.Join(dir, "checkpoint.tmp")
+	tmp := filepath.Join(dir, checkpointTmp)
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
 	f, err := os.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
-	serial, err := n.Checkpoint(f)
+	// Buffered: the checkpointer writes one stripe (or one record, on
+	// the frozen path) at a time and would otherwise pay a write syscall
+	// each.
+	w := bufio.NewWriterSize(f, 256<<10)
+	var serial, truncBelow uint64
+	if n.cfg.FrozenCheckpoint {
+		// A frozen snapshot is transaction-consistent at its serial, so
+		// the whole log below it is redundant.
+		serial, err = n.Checkpoint(w)
+		truncBelow = serial
+	} else {
+		var st CheckpointStats
+		st, err = n.FuzzyCheckpoint(w)
+		serial = st.Serial
+		truncBelow = st.MinWatermark
+	}
 	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := w.Flush(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, err
@@ -70,39 +112,75 @@ func (n *Node) CheckpointToDir(dir string) (uint64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	final := filepath.Join(dir, "checkpoint.ckpt")
-	if err := os.Rename(tmp, final); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointFinal)); err != nil {
 		return 0, err
 	}
-	// The log tail below the checkpoint is now redundant.
-	if _, err := logstore.Reset(n.log); err != nil {
+	// The rename must be durable before the log shrinks: fsync the
+	// directory, or a crash could surface the old directory entry next
+	// to a truncated log.
+	if err := syncDir(dir); err != nil {
+		return serial, fmt.Errorf("core: checkpoint written but directory sync failed: %w", err)
+	}
+	// The log below every stripe watermark is now redundant.
+	did, _, err := logstore.TruncateBelow(n.log, truncBelow)
+	if err != nil {
 		return serial, fmt.Errorf("core: checkpoint written but log truncation failed: %w", err)
 	}
+	if !did && n.cfg.FrozenCheckpoint {
+		// Legacy devices without serial truncation can still drop
+		// everything after a frozen (transaction-consistent) checkpoint.
+		// After a fuzzy one they cannot — the tail above MinWatermark
+		// still matters — so the fuzzy path keeps the log; use a
+		// segmented store to reclaim space.
+		if _, err := logstore.Reset(n.log); err != nil {
+			return serial, fmt.Errorf("core: checkpoint written but log truncation failed: %w", err)
+		}
+	}
 	return serial, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // RecoverFromDir restores the node's database from a directory written
 // by CheckpointToDir plus the given log reader (the tail written after
 // the checkpoint). Either part may be absent: a missing checkpoint file
 // replays the log alone; a nil log restores the checkpoint alone.
+//
+// A fuzzy (v2) checkpoint carries per-stripe watermarks; each logged
+// record then replays only if its group's serial exceeds the watermark
+// of its stripe. A frozen (v1) checkpoint replays the whole log reader —
+// re-applying records the snapshot already contains is idempotent.
 func (n *Node) RecoverFromDir(dir string, log io.Reader) (wal.RecoverStats, error) {
 	var st wal.RecoverStats
-	ckpt := filepath.Join(dir, "checkpoint.ckpt")
+	var wm *wal.StripeWatermarks
+	ckpt := filepath.Join(dir, checkpointFinal)
 	if f, err := os.Open(ckpt); err == nil {
-		// Buffered: ReadCheckpoint decodes record by record and would
+		// Buffered: DecodeCheckpoint decodes record by record and would
 		// otherwise pay a read syscall per record.
-		snap, serial, cerr := wal.ReadCheckpoint(bufio.NewReaderSize(f, 256<<10))
+		ck, cerr := wal.DecodeCheckpoint(bufio.NewReaderSize(f, 256<<10))
 		f.Close()
 		if cerr != nil {
 			return st, fmt.Errorf("core: bad checkpoint %s: %w", ckpt, cerr)
 		}
-		n.db.LoadSnapshot(snap)
-		st.LastSerial = serial
+		n.db.LoadSnapshot(ck.Snapshot)
+		st.LastSerial = ck.LastSerial
+		wm = ck.Watermarks
 	} else if !os.IsNotExist(err) {
 		return st, err
 	}
 	if log != nil {
-		tail, err := wal.ParallelRecover(log, n.db, n.cfg.RecoverWorkers)
+		tail, err := wal.ParallelRecoverSuffix(log, n.db, n.cfg.RecoverWorkers, wm)
 		if err != nil {
 			return st, err
 		}

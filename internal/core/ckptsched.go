@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/logstore"
+	"repro/internal/simtime"
+)
+
+// CheckpointSchedulerOptions configures a background checkpoint loop.
+type CheckpointSchedulerOptions struct {
+	// Every triggers a checkpoint when this much time passed since the
+	// last one. Zero disables the time trigger.
+	Every time.Duration
+	// LogBytes triggers a checkpoint when the node's log device reports
+	// this many bytes appended since the last one (the device must
+	// expose Stats; others never fire this trigger). Zero disables it.
+	LogBytes uint64
+	// Poll is how often the triggers are evaluated. Zero picks a quarter
+	// of Every, clamped to [10ms, 1s].
+	Poll time.Duration
+	// OnCycle, if set, observes every completed cycle (serial, or the
+	// error that stopped it). Called from the scheduler goroutine.
+	OnCycle func(serial uint64, err error)
+}
+
+// CheckpointScheduler runs CheckpointToDir in the background on the
+// node's clock, triggered by elapsed time or log growth — the paper's
+// checkpoint-and-truncate cycle made continuous, which is what bounds
+// both recovery time and log disk usage.
+type CheckpointScheduler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// logStats is the optional accounting surface of a log device.
+type logStats interface{ Stats() logstore.Stats }
+
+// StartCheckpointScheduler begins checkpointing into dir. While the node
+// is a mirror (no engine) the loop idles; it resumes checkpointing after
+// a takeover promotes the node. Stop the scheduler before closing the
+// node.
+func (n *Node) StartCheckpointScheduler(dir string, opts CheckpointSchedulerOptions) *CheckpointScheduler {
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = opts.Every / 4
+		if poll < 10*time.Millisecond {
+			poll = 10 * time.Millisecond
+		}
+		if poll > time.Second {
+			poll = time.Second
+		}
+	}
+	s := &CheckpointScheduler{stop: make(chan struct{}), done: make(chan struct{})}
+	go s.run(n, dir, opts, poll)
+	return s
+}
+
+func (s *CheckpointScheduler) run(n *Node, dir string, opts CheckpointSchedulerOptions, poll time.Duration) {
+	defer close(s.done)
+	ticker := simtime.NewTicker(n.cfg.Clock, poll)
+	defer ticker.Stop()
+	last := n.cfg.Clock.Now()
+	var lastBytes uint64
+	if ls, ok := n.log.(logStats); ok {
+		lastBytes = ls.Stats().BytesAppended
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		now := n.cfg.Clock.Now()
+		fire := opts.Every > 0 && now.Sub(last) >= opts.Every
+		var bytes uint64
+		if ls, ok := n.log.(logStats); ok {
+			bytes = ls.Stats().BytesAppended
+			if opts.LogBytes > 0 && bytes-lastBytes >= opts.LogBytes {
+				fire = true
+			}
+		}
+		if !fire {
+			continue
+		}
+		if n.Engine() == nil {
+			// Mirror: nothing to checkpoint here; the primary owns the
+			// cycle. Try again after a takeover.
+			continue
+		}
+		serial, err := n.CheckpointToDir(dir)
+		last, lastBytes = n.cfg.Clock.Now(), bytes
+		if opts.OnCycle != nil {
+			opts.OnCycle(serial, err)
+		}
+	}
+}
+
+// Stop ends the loop and waits for an in-flight cycle to finish.
+func (s *CheckpointScheduler) Stop() {
+	close(s.stop)
+	<-s.done
+}

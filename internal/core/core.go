@@ -180,6 +180,11 @@ type Config struct {
 	// simtime.SimClock lets simulated-time runs pass through commit
 	// retries without real sleeps.
 	Clock simtime.Clock
+	// FrozenCheckpoint selects the legacy stop-the-world checkpoint for
+	// CheckpointToDir — the ablation DESIGN §8 measures against. The
+	// default (false) is the fuzzy stripe-incremental checkpointer,
+	// which never freezes validation.
+	FrozenCheckpoint bool
 }
 
 func (c Config) withDefaults() Config {

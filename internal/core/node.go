@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/logstore"
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -77,6 +78,15 @@ type Node struct {
 
 	events chan Event
 	wg     sync.WaitGroup
+
+	// Checkpoint cycle state: one fuzzy checkpoint at a time, with the
+	// per-stripe encoding cache that makes steady-state cycles
+	// incremental.
+	ckptMu    sync.Mutex
+	ckptCache []stripeCache
+	ckptPause metrics.Histogram
+	ckptBytes metrics.IntDist
+	ckptSkip  metrics.IntDist
 }
 
 // NewNode creates a node over its database and local log device. The

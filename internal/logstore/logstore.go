@@ -7,6 +7,7 @@ package logstore
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"os"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/simtime"
+	"repro/internal/wal"
 )
 
 // Store is an append-only log device. Append buffers data; Sync forces
@@ -49,13 +51,44 @@ type Resetter interface {
 }
 
 // Reset truncates s if it supports truncation; it reports whether it
-// did.
+// did. A Delayed wrapper is unwrapped first: capability detection must
+// see the real device, not the latency shim.
 func Reset(s Store) (bool, error) {
+	if d, ok := s.(*Delayed); ok {
+		return Reset(d.Inner)
+	}
 	r, ok := s.(Resetter)
 	if !ok {
 		return false, nil
 	}
 	return true, r.Reset()
+}
+
+// SerialTruncator is implemented by stores that can drop a log prefix
+// made redundant by a durable checkpoint: everything dropped must lie
+// below the given commit serial. Unlike Reset, data above the serial —
+// which the checkpoint does not cover — survives.
+type SerialTruncator interface {
+	// TruncateBelow drops log data containing only groups whose commit
+	// serial is ≤ serial, and returns the number of bytes dropped. It is
+	// free to drop less than the maximum (truncation is an optimization;
+	// keeping extra log only costs replay time), never more.
+	TruncateBelow(serial uint64) (int, error)
+}
+
+// TruncateBelow drops the ≤ serial prefix of s if it supports serial
+// truncation; it reports whether it did and how many bytes went away.
+// A Delayed wrapper is unwrapped first, like in Reset.
+func TruncateBelow(s Store, serial uint64) (bool, int, error) {
+	if d, ok := s.(*Delayed); ok {
+		return TruncateBelow(d.Inner, serial)
+	}
+	t, ok := s.(SerialTruncator)
+	if !ok {
+		return false, 0, nil
+	}
+	n, err := t.TruncateBelow(serial)
+	return true, n, err
 }
 
 // --- File -------------------------------------------------------------------
@@ -269,6 +302,58 @@ func (m *Mem) Reset() error {
 	m.data = m.data[:0]
 	m.synced = 0
 	return nil
+}
+
+// TruncateBelow implements SerialTruncator by decoding the stored
+// stream and cutting at the last group boundary before any commit above
+// serial: the dropped prefix holds only commits the checkpoint covers,
+// and no write whose commit lies beyond the cut. The synced marker
+// shifts with the data so crash modeling stays exact.
+func (m *Mem) TruncateBelow(serial uint64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	cut := 0
+	open := make(map[uint64]int)
+	r := bytes.NewReader(m.data)
+	for {
+		rec, err := wal.Decode(r)
+		if err != nil {
+			// Clean EOF, a partial tail record, or damage: stop scanning;
+			// everything decoded so far determined the cut.
+			break
+		}
+		switch rec.Type {
+		case wal.TypeWrite, wal.TypeDelete:
+			open[uint64(rec.TxnID)]++
+		case wal.TypeAbort:
+			delete(open, uint64(rec.TxnID))
+		case wal.TypeCommit:
+			if rec.SerialOrder > serial {
+				// First uncovered group: the cut stands where it is.
+				r = nil
+			}
+			delete(open, uint64(rec.TxnID))
+		case wal.TypeHeartbeat:
+			// no state
+		}
+		if r == nil {
+			break
+		}
+		if len(open) == 0 {
+			cut = len(m.data) - r.Len()
+		}
+	}
+	if cut == 0 {
+		return 0, nil
+	}
+	m.data = append(m.data[:0], m.data[cut:]...)
+	if m.synced -= cut; m.synced < 0 {
+		m.synced = 0
+	}
+	return cut, nil
 }
 
 // --- Null -------------------------------------------------------------------

@@ -238,10 +238,14 @@ type Controller struct {
 	mu           sync.Mutex
 	applyIdle    *sync.Cond // signaled when pendingApply drops to zero
 	pendingApply int        // accepted validations whose write phase is in flight
-	usedTS       map[uint64]struct{}
-	maxTS        uint64
-	tsFloor      uint64 // all new timestamps must exceed this (takeover seeding)
-	nextSerial   uint64
+	// applying holds the serial orders of those in-flight write phases;
+	// StableSerial derives the fuzzy checkpointer's watermark from it.
+	// Bounded by the worker count, so the min scan is a few entries.
+	applying   map[uint64]struct{}
+	usedTS     map[uint64]struct{}
+	maxTS      uint64
+	tsFloor    uint64 // all new timestamps must exceed this (takeover seeding)
+	nextSerial uint64
 
 	// adjustment scratch, reused across validations (single validator at
 	// a time under the ticket).
@@ -266,10 +270,11 @@ type adjEntry struct {
 // NewController returns a controller running protocol kind over db.
 func NewController(kind Kind, db *store.Store) *Controller {
 	c := &Controller{
-		kind:   kind,
-		db:     db,
-		usedTS: make(map[uint64]struct{}),
-		adjIdx: make(map[txn.ID]int),
+		kind:     kind,
+		db:       db,
+		usedTS:   make(map[uint64]struct{}),
+		adjIdx:   make(map[txn.ID]int),
+		applying: make(map[uint64]struct{}),
 	}
 	c.applyIdle = sync.NewCond(&c.mu)
 	for i := range c.txns {
@@ -337,6 +342,25 @@ func (c *Controller) LastSerial() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.nextSerial
+}
+
+// StableSerial reports the largest validation order S such that every
+// accepted transaction with serial ≤ S has completed its write phase:
+// all of their after images are installed in the database. It is the
+// watermark source for fuzzy checkpoints — a stripe copied after
+// StableSerial returned S is guaranteed to contain every group ≤ S that
+// touched it, so replaying the log suffix above S over the copy cannot
+// miss anything. With no write phase in flight it equals LastSerial.
+func (c *Controller) StableSerial() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.nextSerial
+	for serial := range c.applying {
+		if serial-1 < s {
+			s = serial - 1
+		}
+	}
+	return s
 }
 
 // WithFrozen runs f while validation is blocked and no accepted write
@@ -800,6 +824,7 @@ func (c *Controller) applyAndRetire(t *txn.Transaction, ts uint64) {
 
 	c.mu.Lock()
 	c.pendingApply--
+	delete(c.applying, t.SerialOrder)
 	if c.pendingApply == 0 {
 		c.applyIdle.Broadcast()
 	}
@@ -882,4 +907,5 @@ func (c *Controller) commitTicket(t *txn.Transaction, ts uint64) {
 	t.CommitTS = ts
 	t.SerialOrder = c.nextSerial
 	c.pendingApply++
+	c.applying[t.SerialOrder] = struct{}{}
 }

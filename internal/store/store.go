@@ -64,7 +64,8 @@ type stripe struct {
 	mu      sync.RWMutex
 	items   map[ObjectID]*item
 	deleted map[ObjectID]uint64 // tombstone commit timestamps
-	_       [24]byte            // RWMutex(24) + 2 map headers(16) + 24 = one cache line
+	epoch   uint64              // bumped under mu on every content mutation
+	_       [16]byte            // RWMutex(24) + 2 map headers(16) + epoch(8) + 16 = one cache line
 }
 
 // Store is a main-memory object store safe for concurrent use.
@@ -101,6 +102,21 @@ func newStriped(n int) *Store {
 func (s *Store) stripeIndex(id ObjectID) int {
 	return int((uint64(id) * 0x9E3779B97F4A7C15) >> s.shift)
 }
+
+// StripeOf reports the stripe index id maps to in a store with n lock
+// stripes (n must be a positive power of two). It is the same Fibonacci
+// hash stripeIndex uses, exported so the checkpoint format can route a
+// logged record to its stripe watermark without a Store in hand.
+func StripeOf(id ObjectID, n int) int {
+	shift := uint(64)
+	for ; n > 1; n >>= 1 {
+		shift--
+	}
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> shift)
+}
+
+// NumStripes reports the store's lock-stripe count.
+func (s *Store) NumStripes() int { return len(s.stripes) }
 
 func (s *Store) stripeFor(id ObjectID) *stripe {
 	return &s.stripes[s.stripeIndex(id)]
@@ -219,6 +235,7 @@ func (s *Store) Put(id ObjectID, value []byte) {
 	st := s.stripeFor(id)
 	st.mu.Lock()
 	st.items[id] = &item{value: cloneBytes(value)}
+	st.epoch++
 	st.mu.Unlock()
 }
 
@@ -239,6 +256,7 @@ func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
 // after image must not clobber the newer value (last-writer-wins by
 // commitTS, mirroring applyDelete's tombstone check).
 func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
+	st.epoch++ // conservative: count guarded no-ops too; a spurious bump only costs a copy
 	if st.deleted[id] > commitTS {
 		return // deleted by a newer transaction; do not resurrect
 	}
@@ -279,6 +297,7 @@ func (s *Store) ApplyDelete(id ObjectID, commitTS uint64) {
 
 // applyDelete is ApplyDelete with the stripe lock held.
 func (st *stripe) applyDelete(id ObjectID, commitTS uint64) {
+	st.epoch++
 	it, ok := st.items[id]
 	if ok && it.writeTS > commitTS {
 		return // a newer write already superseded this deletion
@@ -363,6 +382,7 @@ func (s *Store) Delete(id ObjectID) bool {
 	_, ok := st.items[id]
 	if ok {
 		delete(st.items, id)
+		st.epoch++
 	}
 	st.mu.Unlock()
 	return ok
@@ -424,6 +444,42 @@ func (s *Store) Snapshot() []Record {
 	return recs
 }
 
+// StripeEpoch reports stripe i's change epoch: a counter bumped under
+// the stripe lock on every content mutation (transactional applies,
+// bulk loads, deletes, snapshot loads). Two equal readings with no
+// mutation in between mean the stripe's contents are unchanged — the
+// dirty-stripe test the incremental checkpointer uses.
+func (s *Store) StripeEpoch(i int) uint64 {
+	st := &s.stripes[i]
+	st.mu.RLock()
+	e := st.epoch
+	st.mu.RUnlock()
+	return e
+}
+
+// SnapshotStripe copies stripe i alone — the fuzzy checkpointer's unit
+// of work: only this stripe's lock is held, so commits touching other
+// stripes proceed while the copy runs. The returned records are sorted
+// by id and their epoch is the stripe's change epoch at the copy point.
+//
+// The Value slices are borrowed, not copied (the View contract):
+// installed values are immutable, so the caller may encode them after
+// the lock is released, which keeps the per-stripe pause to the map
+// walk instead of the full value copy. Callers that mutate or retain
+// them must clone.
+func (s *Store) SnapshotStripe(i int) ([]Record, uint64) {
+	st := &s.stripes[i]
+	st.mu.RLock()
+	recs := make([]Record, 0, len(st.items))
+	for id, it := range st.items {
+		recs = append(recs, Record{ID: id, Value: it.value, WriteTS: it.writeTS})
+	}
+	epoch := st.epoch
+	st.mu.RUnlock()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	return recs, epoch
+}
+
 // LoadSnapshot replaces the store contents with the given records.
 func (s *Store) LoadSnapshot(recs []Record) {
 	for i := range s.stripes {
@@ -432,6 +488,7 @@ func (s *Store) LoadSnapshot(recs []Record) {
 	for i := range s.stripes {
 		s.stripes[i].items = make(map[ObjectID]*item)
 		s.stripes[i].deleted = make(map[ObjectID]uint64)
+		s.stripes[i].epoch++
 	}
 	for _, r := range recs {
 		st := s.stripeFor(r.ID)

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/store"
+)
+
+// This file implements the v2 checkpoint format produced by the fuzzy,
+// stripe-incremental checkpointer. A v1 checkpoint (WriteCheckpoint) is
+// a transaction-consistent snapshot: a bare record stream — Write
+// records followed by one Commit marker carrying the serial the log
+// resumes from. A v2 checkpoint is fuzzy: each lock stripe of the store
+// was copied at a different moment, so one serial is not enough — the
+// file carries a per-stripe watermark vector, and recovery replays each
+// logged record's suffix from its own stripe's watermark.
+//
+// Layout:
+//
+//	magic "RDCKPT2\x00" (8) | stripes u32 | crc32(magic+stripes) u32
+//	record stream: Write records per object (stripe by stripe),
+//	               terminated by the v1 Commit marker (SerialOrder =
+//	               max watermark)
+//	watermarks: stripes × u64 | crc32(watermark bytes) u32
+//
+// The record stream between header and trailer is exactly the v1 body,
+// so every v1 tool that tolerates the header keeps working, and
+// DecodeCheckpoint reads both formats transparently (the 8-byte magic
+// cannot begin a v1 stream: a record's first 4 bytes are a CRC over a
+// header that would have to declare an impossible type).
+
+// checkpointMagic begins every v2 checkpoint file.
+const checkpointMagic = "RDCKPT2\x00"
+
+// checkpointHeaderSize is magic + stripe count + header CRC.
+const checkpointHeaderSize = 8 + 4 + 4
+
+// maxCheckpointStripes bounds the declared stripe count so a corrupt
+// header cannot cause a huge allocation.
+const maxCheckpointStripes = 1 << 20
+
+// StripeWatermarks is a v2 checkpoint's per-stripe serial vector: mark
+// i promises that every committed group with serial ≤ mark i had its
+// writes installed in stripe i before that stripe was copied. Replay
+// applies a logged write iff its group's serial exceeds the mark of the
+// object's stripe.
+type StripeWatermarks struct {
+	marks []uint64
+}
+
+// NewStripeWatermarks wraps a watermark vector; len(marks) must be the
+// store's stripe count (a positive power of two).
+func NewStripeWatermarks(marks []uint64) *StripeWatermarks {
+	return &StripeWatermarks{marks: marks}
+}
+
+// Stripes reports the stripe count.
+func (w *StripeWatermarks) Stripes() int { return len(w.marks) }
+
+// Mark reports stripe i's watermark.
+func (w *StripeWatermarks) Mark(i int) uint64 { return w.marks[i] }
+
+// For reports the watermark of the stripe id maps to.
+func (w *StripeWatermarks) For(id store.ObjectID) uint64 {
+	return w.marks[store.StripeOf(id, len(w.marks))]
+}
+
+// Min reports the smallest watermark — the truncation bound: every
+// group at or below it is fully reflected in the checkpoint, so log
+// data containing only such groups is redundant.
+func (w *StripeWatermarks) Min() uint64 {
+	if len(w.marks) == 0 {
+		return 0
+	}
+	min := w.marks[0]
+	for _, m := range w.marks[1:] {
+		if m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Max reports the largest watermark — the serial the checkpoint as a
+// whole corresponds to once the suffix is replayed.
+func (w *StripeWatermarks) Max() uint64 {
+	var max uint64
+	for _, m := range w.marks {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// WriteCheckpointHeader begins a v2 checkpoint: magic, stripe count and
+// a CRC over both, so a corrupt count is caught before it sizes the
+// watermark read.
+func WriteCheckpointHeader(w io.Writer, stripes int) error {
+	var buf [checkpointHeaderSize]byte
+	copy(buf[:8], checkpointMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(stripes))
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[:12]))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// AppendCheckpointRecord appends one snapshot record in checkpoint body
+// form (a Write record under the reserved checkpoint transaction id)
+// and returns the extended slice.
+func AppendCheckpointRecord(dst []byte, rec store.Record) []byte {
+	return AppendEncoded(dst, &Record{
+		Type:       TypeWrite,
+		TxnID:      checkpointTxnID,
+		ObjectID:   rec.ID,
+		CommitTS:   rec.WriteTS,
+		AfterImage: rec.Value,
+	})
+}
+
+// WriteCheckpointTrailer ends a v2 checkpoint: the commit marker that
+// terminates the record stream (carrying the max watermark, which is
+// what a v1-style reader reports as the checkpoint serial) followed by
+// the CRC-protected watermark vector. marks must match the stripe count
+// declared in the header.
+func WriteCheckpointTrailer(w io.Writer, marks []uint64) error {
+	var max uint64
+	for _, m := range marks {
+		if m > max {
+			max = m
+		}
+	}
+	buf := AppendEncoded(nil, &Record{
+		Type:        TypeCommit,
+		TxnID:       checkpointTxnID,
+		SerialOrder: max,
+	})
+	start := len(buf)
+	for _, m := range marks {
+		buf = binary.LittleEndian.AppendUint64(buf, m)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+	_, err := w.Write(buf)
+	return err
+}
+
+// Checkpoint is a decoded checkpoint file of either format.
+type Checkpoint struct {
+	// Snapshot is the database image, one record per object.
+	Snapshot []store.Record
+	// LastSerial is the serial the log tail resumes from: the v1
+	// checkpoint serial, or the max stripe watermark of a v2 file.
+	LastSerial uint64
+	// Version is 1 (frozen, WriteCheckpoint) or 2 (fuzzy).
+	Version int
+	// Watermarks is the per-stripe replay vector; nil on v1 files
+	// (replay everything — the frozen copy makes re-applying the prefix
+	// idempotent).
+	Watermarks *StripeWatermarks
+}
+
+// DecodeCheckpoint reads a checkpoint of either version from r: a v2
+// file is recognized by its magic, anything else is parsed as a v1
+// record stream. Incomplete or damaged files yield
+// ErrIncompleteCheckpoint or ErrCorrupt — a checkpoint is all-or-
+// nothing; recovery must fall back to the previous one plus the log.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var head [checkpointHeaderSize]byte
+	if _, err := io.ReadFull(r, head[:8]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrIncompleteCheckpoint
+		}
+		return nil, err
+	}
+	if string(head[:8]) != checkpointMagic {
+		// v1: the 8 bytes already consumed are the stream's start.
+		snap, serial, err := ReadCheckpoint(io.MultiReader(bytes.NewReader(head[:8]), r))
+		if err != nil {
+			return nil, err
+		}
+		return &Checkpoint{Snapshot: snap, LastSerial: serial, Version: 1}, nil
+	}
+	if _, err := io.ReadFull(r, head[8:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrIncompleteCheckpoint
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(head[:12]) != binary.LittleEndian.Uint32(head[12:]) {
+		return nil, ErrCorrupt
+	}
+	stripes := int(binary.LittleEndian.Uint32(head[8:]))
+	if stripes <= 0 || stripes&(stripes-1) != 0 || stripes > maxCheckpointStripes {
+		return nil, ErrCorrupt
+	}
+	ck := &Checkpoint{Version: 2}
+	for {
+		rec, err := Decode(r)
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF || errors.Is(err, ErrCorrupt) {
+				return nil, ErrIncompleteCheckpoint
+			}
+			return nil, err
+		}
+		if rec.Type == TypeCommit {
+			ck.LastSerial = rec.SerialOrder
+			break
+		}
+		if rec.Type != TypeWrite {
+			return nil, ErrCorrupt
+		}
+		ck.Snapshot = append(ck.Snapshot, store.Record{ID: rec.ObjectID, Value: rec.AfterImage, WriteTS: rec.CommitTS})
+	}
+	trailer := make([]byte, 8*stripes+4)
+	if _, err := io.ReadFull(r, trailer); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrIncompleteCheckpoint
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(trailer[:8*stripes]) != binary.LittleEndian.Uint32(trailer[8*stripes:]) {
+		return nil, ErrCorrupt
+	}
+	marks := make([]uint64, stripes)
+	for i := range marks {
+		marks[i] = binary.LittleEndian.Uint64(trailer[8*i:])
+	}
+	ck.Watermarks = NewStripeWatermarks(marks)
+	if s := ck.Watermarks.Max(); s != ck.LastSerial {
+		return nil, ErrCorrupt
+	}
+	return ck, nil
+}

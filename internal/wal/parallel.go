@@ -270,11 +270,20 @@ func (p *ParallelApplier) complete(t *applyTask, writes int) {
 // workers <= 1 falls back to the sequential pass; workers == 0 uses one
 // worker per CPU via DefaultRecoverWorkers.
 func ParallelRecover(r io.Reader, db *store.Store, workers int) (RecoverStats, error) {
+	return ParallelRecoverSuffix(r, db, workers, nil)
+}
+
+// ParallelRecoverSuffix is ParallelRecover with a fuzzy-checkpoint
+// watermark filter (see RecoverSuffix): writes whose group serial is at
+// or below their stripe's watermark are dropped at group assembly, before
+// the conflict graph ever sees them, so a mostly-covered log suffix
+// costs decode time but no apply contention.
+func ParallelRecoverSuffix(r io.Reader, db *store.Store, workers int, wm *StripeWatermarks) (RecoverStats, error) {
 	if workers == 0 {
 		workers = DefaultRecoverWorkers()
 	}
 	if workers <= 1 {
-		return Recover(r, db)
+		return RecoverSuffix(r, db, wm)
 	}
 	var st RecoverStats
 	ap := NewParallelApplier(db, workers, true)
@@ -308,6 +317,19 @@ func ParallelRecover(r io.Reader, db *store.Store, workers int) (RecoverStats, e
 				g := &Group{Writes: pending[uint64(rec.TxnID)], Commit: rec}
 				buffered -= len(g.Writes)
 				delete(pending, uint64(rec.TxnID))
+				if wm != nil {
+					kept := g.Writes[:0]
+					for _, w := range g.Writes {
+						if rec.SerialOrder <= wm.For(w.ObjectID) {
+							st.WritesSkipped++
+							continue
+						}
+						kept = append(kept, w)
+					}
+					g.Writes = kept
+				}
+				// Apply even when every write was filtered: the commit
+				// still advances the applier's MaxSerial bookkeeping.
 				ap.Apply(g)
 			case TypeHeartbeat:
 				// ignore

@@ -29,6 +29,11 @@ type RecoverStats struct {
 	// log can force the recovery to hold much more — this is the cost
 	// the mirror's reordering avoids.
 	PeakBuffered int
+	// WritesSkipped counts writes dropped by a stripe-watermark filter
+	// during suffix replay: their group's serial was at or below the
+	// watermark of the object's stripe, so the checkpoint already holds
+	// them.
+	WritesSkipped int
 }
 
 // Recover replays a stored redo log into db in a single pass: write
@@ -42,6 +47,16 @@ type RecoverStats struct {
 // A truncated or corrupt tail ends the pass cleanly (Truncated is set);
 // any other read error is returned.
 func Recover(r io.Reader, db *store.Store) (RecoverStats, error) {
+	return RecoverSuffix(r, db, nil)
+}
+
+// RecoverSuffix is Recover with a fuzzy-checkpoint watermark filter: a
+// committed write is applied only if its group's serial exceeds the
+// watermark of the stripe its object lives in (wm nil replays
+// everything). Commit records below every watermark still advance
+// LastSerial, so the controller reseeds past serials the checkpoint
+// already covers.
+func RecoverSuffix(r io.Reader, db *store.Store, wm *StripeWatermarks) (RecoverStats, error) {
 	var st RecoverStats
 	buffered := 0
 	pending := make(map[uint64][]*Record)
@@ -77,6 +92,10 @@ func Recover(r io.Reader, db *store.Store) (RecoverStats, error) {
 				// validation); keep the version with the larger commit
 				// timestamp. Tombstones carry their own timestamps so
 				// older writes cannot resurrect deleted objects.
+				if wm != nil && rec.SerialOrder <= wm.For(w.ObjectID) {
+					st.WritesSkipped++
+					continue
+				}
 				if w.Type == TypeDelete {
 					db.ApplyDelete(w.ObjectID, rec.CommitTS)
 					st.WritesApplied++

@@ -175,6 +175,26 @@ type Options struct {
 	// (same semantics: 0 = one per CPU, negative = inline sequential).
 	// Acknowledgment latency is unaffected either way.
 	MirrorApplyWorkers int
+	// LogSegmentBytes switches the file log (LogPath must be set) to a
+	// segmented store rolling at this size: LogPath becomes a directory
+	// of segment files, and the checkpoint cycle reclaims space by
+	// unlinking whole sealed segments instead of keeping one
+	// ever-growing file. Zero keeps the single-file log.
+	LogSegmentBytes int64
+	// CheckpointDir, when set, starts a background checkpoint-and-
+	// truncate scheduler writing into this directory. At least one of
+	// CheckpointEvery/CheckpointLogBytes must also be set for it to ever
+	// fire.
+	CheckpointDir string
+	// CheckpointEvery triggers a background checkpoint on this interval.
+	CheckpointEvery time.Duration
+	// CheckpointLogBytes triggers a background checkpoint after this
+	// many bytes of log growth since the previous one.
+	CheckpointLogBytes uint64
+	// FrozenCheckpoint selects the legacy stop-the-world checkpoint
+	// instead of the fuzzy stripe-incremental one — an ablation knob;
+	// see DESIGN §8.
+	FrozenCheckpoint bool
 }
 
 func (o Options) coreConfig() (core.Config, error) {
@@ -190,6 +210,7 @@ func (o Options) coreConfig() (core.Config, error) {
 		HeartbeatMisses:    o.HeartbeatMisses,
 		RecoverWorkers:     o.RecoverWorkers,
 		MirrorApplyWorkers: o.MirrorApplyWorkers,
+		FrozenCheckpoint:   o.FrozenCheckpoint,
 	}
 	if o.MaxActive > 0 {
 		cfg.Overload = sched.OverloadConfig{MaxActive: o.MaxActive}
@@ -206,9 +227,16 @@ func (o Options) coreConfig() (core.Config, error) {
 
 func (o Options) openLog() (logstore.Store, error) {
 	var st logstore.Store
-	if o.LogPath == "" {
+	switch {
+	case o.LogPath == "":
 		st = logstore.NewMem()
-	} else {
+	case o.LogSegmentBytes > 0:
+		s, err := logstore.OpenSegmented(o.LogPath, o.LogSegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+		st = s
+	default:
 		f, err := logstore.OpenFile(o.LogPath)
 		if err != nil {
 			return nil, err
@@ -225,8 +253,9 @@ func (o Options) openLog() (logstore.Store, error) {
 // embedded single node, the primary of a pair, or a mirror (which serves
 // transactions only after a takeover).
 type DB struct {
-	node *core.Node
-	log  logstore.Store
+	node      *core.Node
+	log       logstore.Store
+	ckptSched *core.CheckpointScheduler
 }
 
 // Open starts an embedded single-node database.
@@ -266,7 +295,14 @@ func open(opts Options, replListen string, mirror bool) (*DB, *core.Node, error)
 			return nil, nil, err
 		}
 	}
-	return &DB{node: node, log: log}, node, nil
+	db := &DB{node: node, log: log}
+	if opts.CheckpointDir != "" && (opts.CheckpointEvery > 0 || opts.CheckpointLogBytes > 0) {
+		db.ckptSched = node.StartCheckpointScheduler(opts.CheckpointDir, core.CheckpointSchedulerOptions{
+			Every:    opts.CheckpointEvery,
+			LogBytes: opts.CheckpointLogBytes,
+		})
+	}
+	return db, node, nil
 }
 
 // OpenMirror starts a hot stand-by for the primary at primaryAddr. The
@@ -382,8 +418,21 @@ type RecoverStats = wal.RecoverStats
 // Checkpoint writes a transaction-consistent snapshot of the database to
 // w and returns the validation order it corresponds to. Replaying the
 // log from that serial over the checkpoint reproduces the database.
+// Validation freezes for the copy; FuzzyCheckpoint avoids the freeze.
 func (db *DB) Checkpoint(w io.Writer) (uint64, error) {
 	return db.node.Checkpoint(w)
+}
+
+// CheckpointStats summarizes one fuzzy checkpoint cycle.
+type CheckpointStats = core.CheckpointStats
+
+// FuzzyCheckpoint writes a fuzzy, stripe-incremental checkpoint to w:
+// each store stripe is copied under only its own lock, tagged with a
+// per-stripe serial watermark, while commits proceed on the other
+// stripes. RecoverFromDir (and DecodeCheckpoint-based tools) replay the
+// log suffix per stripe watermark.
+func (db *DB) FuzzyCheckpoint(w io.Writer) (CheckpointStats, error) {
+	return db.node.FuzzyCheckpoint(w)
 }
 
 // CheckpointToDir writes an atomic checkpoint file into dir and then
@@ -402,6 +451,9 @@ func (db *DB) RecoverFromDir(dir string, log io.Reader) (RecoverStats, error) {
 // Close shuts the node down gracefully, draining transactions and
 // syncing the log.
 func (db *DB) Close() error {
+	if db.ckptSched != nil {
+		db.ckptSched.Stop()
+	}
 	err := db.node.Close()
 	if cerr := db.log.Close(); err == nil {
 		err = cerr
@@ -410,7 +462,12 @@ func (db *DB) Close() error {
 }
 
 // Crash kills the node abruptly (testing failure scenarios).
-func (db *DB) Crash() { db.node.Crash() }
+func (db *DB) Crash() {
+	if db.ckptSched != nil {
+		db.ckptSched.Stop()
+	}
+	db.node.Crash()
+}
 
 func (db *DB) String() string {
 	return fmt.Sprintf("rodain.DB{%s %s}", db.node.Name(), db.node.Mode())
