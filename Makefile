@@ -36,6 +36,7 @@ bench:
 # seconds, suitable for every edit-compile cycle and for `make check`.
 benchfast:
 	$(GO) test -run xxx -bench 'BenchmarkStoreParallel|BenchmarkStoreViewParallel|BenchmarkApplyGroup' -benchmem -benchtime=100000x ./internal/store
+	$(GO) test -run xxx -bench 'BenchmarkReadMostly' -benchmem -benchtime=20000x ./internal/store
 	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs' -benchmem -benchtime=10000x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkStoreReadWrite|BenchmarkShippedCommit' -benchmem -benchtime=10000x .
 
@@ -49,6 +50,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkRecoverParallel' -benchmem -benchtime=3x ./internal/wal | $(GO) run ./cmd/rodain-benchjson -o BENCH_wal.json
 	$(GO) test -run xxx -bench 'BenchmarkGroupCommit|BenchmarkTransientFsync' -benchmem -benchtime=5000x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_ship.json
 	$(GO) test -run xxx -bench 'BenchmarkCheckpointPause|BenchmarkRecoverFromCheckpoint' -benchmem -benchtime=3x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_ckpt.json
+	( $(GO) test -run xxx -bench 'BenchmarkReadMostly' -benchmem -benchtime=50000x ./internal/store ; \
+	  $(GO) test -run xxx -bench 'BenchmarkReadOnlyTxn' -benchmem -benchtime=5000x ./internal/core ) | $(GO) run ./cmd/rodain-benchjson -o BENCH_read.json
 
 # Per-benchmark deltas between two bench-json snapshots (ns/op, allocs,
 # custom metrics), flagging regressions past THRESHOLD percent:

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, shipscaling, ckpt, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, readscaling, shipscaling, ckpt, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -113,6 +113,19 @@ func main() {
 		fmt.Println()
 	}
 
+	runReadScaling := func() {
+		txns := 20000
+		if *quick {
+			txns = 4000
+		}
+		rs, err := experiments.ReadScaling(1024, txns, []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.ReadScalingTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runShipScaling := func() {
 		txns := 20000
 		fsyncTxns := 4000
@@ -176,6 +189,7 @@ func main() {
 		runTakeover()
 		runRecoveryScaling()
 		runOCCScaling()
+		runReadScaling()
 		runShipScaling()
 		runCheckpoint()
 		runAblations()
@@ -186,6 +200,8 @@ func main() {
 		runRecoveryScaling()
 	case "occscaling", "occ-scaling", "occ":
 		runOCCScaling()
+	case "readscaling", "read-scaling", "readonly":
+		runReadScaling()
 	case "shipscaling", "ship-scaling", "ship":
 		runShipScaling()
 	case "ckpt", "checkpoint":

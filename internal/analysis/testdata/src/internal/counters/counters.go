@@ -41,3 +41,25 @@ func NewGauge(start uint64) *Gauge {
 type plain struct{ n uint64 }
 
 func bump(p *plain) { p.n++ }
+
+// stripe mimics the versioned store's structural-change counter: the
+// generation is published with atomic stores (marking the field), so the
+// seqlock-style miss check must load it atomically too — a plain read
+// could tear against a concurrent republication.
+type stripe struct {
+	gen   uint64
+	items map[uint64]uint64
+}
+
+func (s *stripe) republish() {
+	atomic.AddUint64(&s.gen, 1)
+}
+
+// lookupMiss is the sanctioned lock-free miss check.
+func (s *stripe) lookupMiss(tableGen uint64) bool {
+	return atomic.LoadUint64(&s.gen) == tableGen
+}
+
+func (s *stripe) plainGen() uint64 {
+	return s.gen // want `non-atomic access to field gen`
+}

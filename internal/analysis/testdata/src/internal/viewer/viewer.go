@@ -79,3 +79,36 @@ func allowed(s *Store, c *cache) {
 	//rodain:allow borrowedview (fixture: consumer synchronizes with the store's epoch)
 	c.last = v
 }
+
+// ViewMeta mirrors the versioned store's copy-free metadata read: the
+// borrowed value slice comes back alongside the version's timestamps.
+func (s *Store) ViewMeta(id uint64) ([]byte, uint64, uint64, bool) {
+	_ = id
+	return s.buf, 1, 2, true
+}
+
+// version mimics the store's published immutable version struct; caching
+// a borrowed slice inside one re-publishes the borrow and must be
+// flagged just like a plain field escape.
+type version struct {
+	value   []byte
+	writeTS uint64
+}
+
+func escapesViaVersionLiteral(s *Store, ch chan *version) {
+	v, _, wts, _ := s.ViewMeta(10)
+	ch <- &version{value: v, writeTS: wts} // want `escapes into a channel`
+}
+
+func escapesViaVersionField(s *Store, ver *version) {
+	v, _, wts, _ := s.ViewMeta(11)
+	ver.writeTS = wts
+	ver.value = v // want `escapes into field ver\.value`
+}
+
+// copiesVersion owns the bytes before installing them in a version —
+// the sanctioned publication pattern (what store.Apply does).
+func copiesVersion(s *Store, ch chan *version) {
+	v, _, wts, _ := s.ViewMeta(12)
+	ch <- &version{value: append([]byte(nil), v...), writeTS: wts}
+}

@@ -41,6 +41,14 @@ type Request struct {
 	Deadline time.Duration
 	// Criticality orders transactions of equal class under overload.
 	Criticality int
+	// ReadOnly declares that Do stages no writes or deletes. A declared
+	// read-only transaction skips per-read conflict registration and
+	// commits through the controller's snapshot fast path — no serial
+	// ticket, no log record, no mirror round trip. The declaration is a
+	// hint, not a contract: a body that writes anyway is transparently
+	// demoted and restarted through the fully registered path (costing
+	// one restart), never executed incorrectly.
+	ReadOnly bool
 	// Do is the transaction body. It may run several times (restarts);
 	// it must be a pure function of the Tx reads.
 	Do func(*Tx) error
@@ -67,9 +75,16 @@ func (x *Tx) Read(id store.ObjectID) ([]byte, error) {
 	if err := x.check(); err != nil {
 		return nil, err
 	}
+	start := x.e.clock.Now()
 	v, ok := x.t.Read(x.e.db, id)
+	x.e.ctl.ObserveReadLatency(x.e.clock.Now().Sub(start))
 	if !ok {
 		return nil, fmt.Errorf("core: object %d does not exist", id)
+	}
+	if x.t.ReadOnlyDeclared() {
+		// Declared read-only: no conflict-set registration. The snapshot
+		// fast path revalidates every read at commit instead.
+		return v, nil
 	}
 	if wts, observed := x.t.ObservedWriteTS(id); observed {
 		if !x.e.ctl.OnRead(x.t, id, wts) {
@@ -90,9 +105,14 @@ func (x *Tx) ReadView(id store.ObjectID) ([]byte, error) {
 	if err := x.check(); err != nil {
 		return nil, err
 	}
+	start := x.e.clock.Now()
 	v, ok := x.t.ReadView(x.e.db, id)
+	x.e.ctl.ObserveReadLatency(x.e.clock.Now().Sub(start))
 	if !ok {
 		return nil, fmt.Errorf("core: object %d does not exist", id)
+	}
+	if x.t.ReadOnlyDeclared() {
+		return v, nil
 	}
 	if wts, observed := x.t.ObservedWriteTS(id); observed {
 		if !x.e.ctl.OnRead(x.t, id, wts) {
@@ -108,6 +128,13 @@ func (x *Tx) Delete(id store.ObjectID) error {
 	if err := x.check(); err != nil {
 		return err
 	}
+	if x.t.ReadOnlyDeclared() {
+		// The read-only declaration was wrong: the reads so far skipped
+		// conflict registration, so the only sound continuation is a
+		// fresh, fully registered attempt.
+		x.t.DemoteReadOnly()
+		return errRestart
+	}
 	x.t.StageDelete(id)
 	if !x.e.ctl.OnWrite(x.t, id) {
 		return errRestart
@@ -119,6 +146,10 @@ func (x *Tx) Delete(id store.ObjectID) error {
 func (x *Tx) Write(id store.ObjectID, value []byte) error {
 	if err := x.check(); err != nil {
 		return err
+	}
+	if x.t.ReadOnlyDeclared() {
+		x.t.DemoteReadOnly()
+		return errRestart
 	}
 	x.t.StageWrite(id, value)
 	if !x.e.ctl.OnWrite(x.t, id) {
@@ -267,6 +298,9 @@ func (e *Engine) Execute(req Request) error {
 	}
 	t := txn.New(txn.ID(e.nextID.Add(1)), req.Class, now, deadline)
 	t.Criticality = req.Criticality
+	if req.ReadOnly && !e.cfg.NoReadOnlyFastPath {
+		t.DeclareReadOnly()
+	}
 	j := &job{t: t, req: req, done: make(chan error, 1)}
 
 	e.mu.Lock()
@@ -356,7 +390,31 @@ func (e *Engine) run(j *job) {
 		}
 
 		t.State = txn.Validating
-		res := e.ctl.Validate(t)
+		var res occ.Result
+		roFast := false
+		if !e.cfg.NoReadOnlyFastPath && t.ReadOnly() {
+			var decided bool
+			if res, decided = e.ctl.ValidateReadOnly(t); decided {
+				roFast = res.OK
+			} else if t.ReadOnlyDeclared() {
+				// The fast path could not certify the snapshot and this
+				// transaction's reads were never registered, so full
+				// validation would be unsound for it: restart into the
+				// fully registered path.
+				t.DemoteReadOnly()
+				if !e.restart(j) {
+					return
+				}
+				continue
+			} else {
+				// Detected read-only (reads fully registered): full
+				// validation is sound and may still serialize the
+				// transaction below the conflicting writer.
+				res = e.ctl.Validate(t)
+			}
+		} else {
+			res = e.ctl.Validate(t)
+		}
 		if !res.OK {
 			if !e.restart(j) {
 				return
@@ -366,20 +424,27 @@ func (e *Engine) run(j *job) {
 		// Victims have been marked doomed; their own workers restart
 		// them at the next operation or validation.
 
-		// Write phase already applied inside Validate. Build the redo
-		// group and run the commit step for the current logging mode.
-		t.State = txn.LogWait
-		validated := e.clock.Now()
-		err = e.commitStable(t)
-		e.commitWait.Observe(e.clock.Now().Sub(validated))
-		e.ctl.Finish(t)
-		if err != nil {
-			// The write phase is already in local memory; losing the
-			// log path mid-commit is a node-level failure for this
-			// transaction.
-			e.outcome.Abort(txn.NodeFailure)
-			j.done <- fmt.Errorf("%w: %v", ErrNodeFailure, err)
-			return
+		if !roFast {
+			// Write phase already applied inside Validate. Build the
+			// redo group and run the commit step for the current logging
+			// mode. A fast-path read-only commit skips all of this: it
+			// wrote nothing, consumed no serial, and per the paper needs
+			// no shipped log — the committer is never touched.
+			t.State = txn.LogWait
+			validated := e.clock.Now()
+			err = e.commitStable(t)
+			e.commitWait.Observe(e.clock.Now().Sub(validated))
+			e.ctl.Finish(t)
+			if err != nil {
+				// The write phase is already in local memory; losing the
+				// log path mid-commit is a node-level failure for this
+				// transaction.
+				e.outcome.Abort(txn.NodeFailure)
+				j.done <- fmt.Errorf("%w: %v", ErrNodeFailure, err)
+				return
+			}
+		} else {
+			e.ctl.Finish(t)
 		}
 		t.State = txn.Committed
 		end := e.clock.Now()

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/txn"
@@ -221,6 +222,100 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return h.max
+}
+
+// --- AtomicHistogram ---------------------------------------------------------
+
+// AtomicHistogram is the lock-free sibling of Histogram: the same
+// logarithmic 1 µs … ~17 s buckets, but every cell is an atomic, so
+// Observe costs a few uncontended atomic adds and never serializes
+// observers — fit for instrumenting paths that are themselves
+// lock-free, like the store's versioned read path. The zero value is
+// ready to use.
+type AtomicHistogram struct {
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds across samples
+	max     atomic.Int64 // largest sample in nanoseconds (CAS-max)
+}
+
+// Observe records one sample.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of samples.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Mean reports the mean sample.
+func (h *AtomicHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Max reports the largest sample.
+func (h *AtomicHistogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// HistogramSummary is a point-in-time digest of a latency histogram:
+// the copyable form embedded in stats snapshots.
+type HistogramSummary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary digests the histogram. Concurrent observers may land between
+// the field loads, so the digest is only approximately consistent —
+// each quantity is individually correct to within the in-flight
+// samples, which is all a monitoring snapshot needs.
+func (h *AtomicHistogram) Summary() HistogramSummary {
+	var counts [bucketCount]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	max := time.Duration(h.max.Load())
+	s := HistogramSummary{Count: total, Max: max}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sum.Load() / int64(total))
+	quantile := func(q float64) time.Duration {
+		target := uint64(math.Ceil(q * float64(total)))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, n := range counts {
+			cum += n
+			if cum >= target {
+				if b := boundFor(i); b < max {
+					return b
+				}
+				return max
+			}
+		}
+		return max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
 }
 
 // --- IntDist -----------------------------------------------------------------

@@ -65,7 +65,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/txn"
 )
@@ -138,6 +140,12 @@ type Stats struct {
 	VictimRestarts  uint64 // active transactions killed by adjustment
 	AccessRestarts  uint64 // transactions doomed at read/write time
 	IntervalAdjusts uint64 // interval narrowings applied to actives
+	ROFastCommits   uint64 // read-only transactions committed on the fast path
+	ROFallbacks     uint64 // read-only fast-path attempts that fell back to full validation
+
+	// ReadLatency summarizes the engine-observed data-read latency
+	// distribution (lock-free histogram; see Controller.ObserveReadLatency).
+	ReadLatency metrics.HistogramSummary
 }
 
 // counters is the controller's live (atomic) form of Stats.
@@ -148,6 +156,8 @@ type counters struct {
 	victimRestarts  atomic.Uint64
 	accessRestarts  atomic.Uint64
 	intervalAdjusts atomic.Uint64
+	roFastCommits   atomic.Uint64
+	roFallbacks     atomic.Uint64
 }
 
 const (
@@ -182,15 +192,37 @@ func (os *objectState) idle() bool {
 type objShard struct {
 	mu      sync.Mutex
 	objects map[store.ObjectID]*objectState
-	_       [40]byte // keep shards on separate cache lines
+	// pool holds retired objectStates (maps emptied, overlay zero) for
+	// reuse, so a cold object's first reader does not pay two map
+	// allocations on the hot path. Guarded by mu, bounded by
+	// objShardResident.
+	pool []*objectState
+	_    [40]byte // keep shards on separate cache lines
 }
 
-// ensure returns the object's state, creating it if absent. Caller holds
-// the shard mutex.
+// readerMapSeed pre-sizes the reader/writer maps of a fresh objectState.
+// Most objects see a handful of concurrent registrants; seeding the maps
+// at that size makes the first registrations growth-free.
+const readerMapSeed = 4
+
+// ensure returns the object's state, creating it if absent — from the
+// shard's retire pool when one is available, so steady-state churn on a
+// shedding shard allocates nothing. Caller holds the shard mutex.
+// ensure is the only creator of objectStates, and every state it hands
+// out has non-nil, pre-sized reader/writer maps.
 func (sh *objShard) ensure(id store.ObjectID) *objectState {
 	os := sh.objects[id]
 	if os == nil {
-		os = &objectState{}
+		if n := len(sh.pool); n > 0 {
+			os = sh.pool[n-1]
+			sh.pool[n-1] = nil
+			sh.pool = sh.pool[:n-1]
+		} else {
+			os = &objectState{
+				readers: make(map[txn.ID]*txn.Transaction, readerMapSeed),
+				writers: make(map[txn.ID]*txn.Transaction, readerMapSeed),
+			}
+		}
 		sh.objects[id] = os
 	}
 	return os
@@ -199,18 +231,22 @@ func (sh *objShard) ensure(id store.ObjectID) *objectState {
 // objShardResident is how many idle entries a shard keeps resident
 // before it starts freeing them. Hot objects cycle between idle and
 // registered on every transaction; keeping a bounded working set
-// resident (with its lazily-built reader/writer maps) avoids
-// re-allocating the state on each touch, while unbounded keyspaces
-// still shed entries once a shard grows past the cap.
+// resident (with its pre-built reader/writer maps) avoids re-allocating
+// the state on each touch, while unbounded keyspaces still shed entries
+// once a shard grows past the cap.
 const objShardResident = 64
 
 // freeIfIdle drops the object's state once nothing references it and
 // the shard already holds a full resident set, so the index stays
-// bounded without churning allocations on a small hot set. Caller holds
-// the shard mutex.
+// bounded without churning allocations on a small hot set. Shed states
+// (maps already empty by idleness, overlay zero) go back to the shard
+// pool for the next cold object. Caller holds the shard mutex.
 func (sh *objShard) freeIfIdle(id store.ObjectID, os *objectState) {
 	if os.idle() && len(sh.objects) > objShardResident {
 		delete(sh.objects, id)
+		if len(sh.pool) < objShardResident {
+			sh.pool = append(sh.pool, os)
+		}
 	}
 }
 
@@ -251,6 +287,19 @@ type Controller struct {
 	// a time under the ticket).
 	adjTxns []adjEntry
 	adjIdx  map[txn.ID]int
+
+	// validateSeq is the acceptance seqlock the read-only fast path
+	// scans against: odd while a validator's acceptance window (overlay
+	// publication through serial assignment, all under the ticket) is
+	// open, even otherwise. A read-only certification scan that observes
+	// the same even value before and after knows no acceptance
+	// interleaved it.
+	validateSeq atomic.Uint64
+
+	// readLat is the engine-fed data-read latency distribution; it uses
+	// the lock-free histogram so observation costs two atomic adds on
+	// the zero-lock read path it measures.
+	readLat metrics.AtomicHistogram
 
 	n counters
 }
@@ -310,8 +359,16 @@ func (c *Controller) Stats() Stats {
 		VictimRestarts:  c.n.victimRestarts.Load(),
 		AccessRestarts:  c.n.accessRestarts.Load(),
 		IntervalAdjusts: c.n.intervalAdjusts.Load(),
+		ROFastCommits:   c.n.roFastCommits.Load(),
+		ROFallbacks:     c.n.roFallbacks.Load(),
+		ReadLatency:     c.readLat.Summary(),
 	}
 }
+
+// ObserveReadLatency records one data-read latency into the
+// controller's read histogram (surfaced through Stats.ReadLatency).
+// Lock-free; safe from any number of workers.
+func (c *Controller) ObserveReadLatency(d time.Duration) { c.readLat.Observe(d) }
 
 // ActiveCount reports the number of registered active transactions.
 func (c *Controller) ActiveCount() int {
@@ -485,9 +542,6 @@ func (c *Controller) OnRead(t *txn.Transaction, id store.ObjectID, wts uint64) b
 	if os == nil {
 		os = sh.ensure(id)
 	}
-	if os.readers == nil {
-		os.readers = make(map[txn.ID]*txn.Transaction)
-	}
 	os.readers[t.ID] = t
 	sh.mu.Unlock()
 	return true
@@ -519,9 +573,6 @@ func (c *Controller) OnWrite(t *txn.Transaction, id store.ObjectID) bool {
 	sh := c.objShardFor(id)
 	sh.mu.Lock()
 	os := sh.ensure(id)
-	if os.writers == nil {
-		os.writers = make(map[txn.ID]*txn.Transaction)
-	}
 	os.writers[t.ID] = t
 	sh.mu.Unlock()
 	return true
@@ -553,6 +604,121 @@ func (c *Controller) Validate(t *txn.Transaction) Result {
 	}
 }
 
+// roScanRetries bounds the certification rescans the read-only fast
+// path attempts before giving up on the fast path. Each retry only
+// happens when a writer's acceptance window interleaved the scan, so
+// under read-mostly load the first pass nearly always certifies.
+const roScanRetries = 3
+
+// ValidateReadOnly attempts to commit a read-only transaction on the
+// snapshot fast path: no serial ticket, no serial order, no write phase
+// — and therefore nothing for the group committer or mirror shipper to
+// do. It reports (Result, true) when it reached a decision (accepted,
+// with t.CommitTS set and t.SerialOrder zero, or rejected because t was
+// already doomed) and (Result{}, false) when the fast path could not
+// certify the snapshot, in which case the caller must fall back to full
+// Validate (sound for a read-registered transaction; a transaction that
+// skipped OnRead registration must instead restart into the registered
+// path).
+//
+// Correctness under the interval protocols rests on three pieces:
+//
+//  1. snapTS — the largest write timestamp the transaction observed —
+//     is its commit timestamp: it serializes directly after the newest
+//     writer it read. Before certifying, every read item's store read
+//     timestamp is raised to snapTS (a lock-free CAS-max), so any
+//     writer of those items accepted afterwards is forced to serialize
+//     above snapTS; the gap-spaced timestamp allocator can never
+//     squeeze a later writer of a read item underneath the snapshot.
+//  2. The certification scan proves no already-accepted writer
+//     invalidates the snapshot: per read item, the committed-timestamp
+//     overlay (covering accepted writes whose apply is still in
+//     flight) must not exceed the observed write timestamp, and the
+//     store's current version must still be exactly the one read —
+//     overlay first, then store, so an apply retiring its overlay entry
+//     between the two loads is caught by the store check.
+//  3. The acceptance seqlock detects writers whose acceptance window
+//     interleaved the scan (their overlay may have been published after
+//     the scan passed that item): the scan only certifies if
+//     validateSeq was even and unchanged across it, retrying a bounded
+//     number of times otherwise.
+//
+// Committed fast-path transactions consume no timestamp slot and no
+// serial: two read-only commits may share a timestamp with each other
+// (they cannot observe one another) and with the writer at snapTS
+// (they serialize immediately after it). Because no serial is
+// consumed, skipping the shipped log leaves no gap in the cohort
+// shipper's contiguous serial sequence.
+func (c *Controller) ValidateReadOnly(t *txn.Transaction) (Result, bool) {
+	if !t.ReadOnly() {
+		return Result{}, false
+	}
+	if _, dead := t.DoomState(); dead {
+		// Only read-registered transactions can be doomed; the decision
+		// is the same one Validate would reach, without the ticket.
+		t.ClearDoom()
+		c.n.validations.Add(1)
+		c.n.selfRestarts.Add(1)
+		return Result{}, true
+	}
+	reads := t.ReadSet()
+	var snapTS uint64
+	for i := range reads {
+		if reads[i].WriteTS > snapTS {
+			snapTS = reads[i].WriteTS
+		}
+	}
+	// Pin the snapshot before proving it: once these read timestamps are
+	// installed, no future writer of a read item can serialize at or
+	// below snapTS. If the fast path falls back after this, the raised
+	// read timestamps are merely conservative (they constrain writers a
+	// committed reader at snapTS would have constrained anyway).
+	for i := range reads {
+		c.db.ObserveRead(reads[i].ID, snapTS)
+	}
+	for attempt := 0; attempt < roScanRetries; attempt++ {
+		s0 := c.validateSeq.Load()
+		if s0&1 != 0 {
+			continue // an acceptance window is open right now; rescan
+		}
+		current := true
+		for i := range reads {
+			re := &reads[i]
+			sh := c.objShardFor(re.ID)
+			sh.mu.Lock()
+			os := sh.objects[re.ID]
+			stale := os != nil && (os.committedWrite > re.WriteTS || os.committedDelete > re.WriteTS)
+			sh.mu.Unlock()
+			if stale {
+				current = false
+				break
+			}
+			if _, wts, ok := c.db.Timestamps(re.ID); !ok || wts != re.WriteTS {
+				current = false
+				break
+			}
+		}
+		if !current {
+			// Genuinely overwritten (or deleted) since the read. Full
+			// interval validation may still salvage the transaction by
+			// serializing it below the overwriter — that is DATI's whole
+			// point — so this is a fallback, not a rejection.
+			break
+		}
+		if c.validateSeq.Load() != s0 {
+			continue // an acceptance interleaved the scan; rescan
+		}
+		t.CommitTS = snapTS
+		t.SerialOrder = 0
+		c.n.validations.Add(1)
+		c.n.commits.Add(1)
+		c.n.roFastCommits.Add(1)
+		return Result{OK: true}, true
+	}
+	c.n.roFallbacks.Add(1)
+	return Result{}, false
+}
+
 // validateBC is classic backward validation: reject the validating
 // transaction if any item it read has been overwritten since.
 func (c *Controller) validateBC(t *txn.Transaction) Result {
@@ -580,8 +746,10 @@ func (c *Controller) validateBC(t *txn.Transaction) Result {
 		}
 	}
 	ts := c.maxTS + 1
+	c.validateSeq.Add(1) // acceptance window opens (odd)
 	c.publishOverlay(t, ts)
 	c.commitTicket(t, ts)
+	c.validateSeq.Add(1) // acceptance window closes (even)
 	c.mu.Unlock()
 
 	c.applyAndRetire(t, ts)
@@ -664,8 +832,10 @@ func (c *Controller) validateInterval(t *txn.Transaction) Result {
 		return Result{}
 	}
 
+	c.validateSeq.Add(1) // acceptance window opens (odd)
 	victims := c.adjustConflicting(t, ts)
 	c.commitTicket(t, ts)
+	c.validateSeq.Add(1) // acceptance window closes (even)
 	c.mu.Unlock()
 
 	c.applyAndRetire(t, ts)

@@ -1,0 +1,138 @@
+package occ
+
+import (
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// TestValidateReadOnlyFastCommit: an unchallenged read-only transaction
+// certifies on the fast path under every interval protocol, with its
+// commit timestamp pinned to the newest version it observed and no
+// serial order consumed.
+func TestValidateReadOnlyFastCommit(t *testing.T) {
+	for _, k := range []Kind{DATI, TI, DA} {
+		t.Run(k.String(), func(t *testing.T) {
+			c, db := newController(k)
+			// Give the read set a non-trivial snapshot timestamp.
+			db.Apply(1, []byte{9}, 500)
+			db.Apply(2, []byte{9}, 300)
+			reader := runSimple(t, c, db, 1, []store.ObjectID{1, 2}, nil)
+			res, decided := c.ValidateReadOnly(reader)
+			if !decided || !res.OK {
+				t.Fatalf("fast path must certify: decided=%v ok=%v", decided, res.OK)
+			}
+			if reader.CommitTS != 500 {
+				t.Fatalf("CommitTS = %d, want the snapshot timestamp 500", reader.CommitTS)
+			}
+			if reader.SerialOrder != 0 {
+				t.Fatalf("SerialOrder = %d, want 0 (no serial consumed)", reader.SerialOrder)
+			}
+			// The snapshot must be pinned: both read items' read
+			// timestamps advanced to snapTS so no later writer can
+			// serialize underneath it.
+			for _, id := range []store.ObjectID{1, 2} {
+				if rts, _, _ := db.Timestamps(id); rts < 500 {
+					t.Fatalf("readTS(%d) = %d, want >= 500 after pinning", id, rts)
+				}
+			}
+			st := c.Stats()
+			if st.ROFastCommits != 1 || st.ROFallbacks != 0 || st.Commits != 1 {
+				t.Fatalf("stats = %+v", st)
+			}
+			c.Finish(reader)
+			if c.ActiveCount() != 0 {
+				t.Fatalf("ActiveCount = %d", c.ActiveCount())
+			}
+		})
+	}
+}
+
+// TestValidateReadOnlyRefusesWriters: a transaction with staged writes
+// is not the fast path's problem — it must report undecided without
+// touching any counters.
+func TestValidateReadOnlyRefusesWriters(t *testing.T) {
+	c, db := newController(DATI)
+	w := runSimple(t, c, db, 1, []store.ObjectID{1}, []store.ObjectID{2})
+	if _, decided := c.ValidateReadOnly(w); decided {
+		t.Fatal("fast path must not decide a transaction with writes")
+	}
+	st := c.Stats()
+	if st.ROFastCommits != 0 || st.ROFallbacks != 0 || st.Validations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := c.Validate(w); !r.OK {
+		t.Fatal("writer must still commit through full validation")
+	}
+	c.Finish(w)
+}
+
+// TestValidateReadOnlyStaleFallsBackThenValidateSalvages: a committed
+// overwrite of a read item forces the fast path to fall back — and full
+// interval validation then salvages the reader by serializing it below
+// the overwriter, which is exactly why stale means fallback rather than
+// rejection.
+func TestValidateReadOnlyStaleFallsBackThenValidateSalvages(t *testing.T) {
+	c, db := newController(DATI)
+	reader := runSimple(t, c, db, 1, []store.ObjectID{7}, nil)
+	writer := runSimple(t, c, db, 2, nil, []store.ObjectID{7})
+	if r := c.Validate(writer); !r.OK {
+		t.Fatal("writer must commit")
+	}
+	res, decided := c.ValidateReadOnly(reader)
+	if decided || res.OK {
+		t.Fatalf("fast path must fall back on a stale read: decided=%v ok=%v", decided, res.OK)
+	}
+	if st := c.Stats(); st.ROFallbacks != 1 {
+		t.Fatalf("stats = %+v, want one fallback", st)
+	}
+	r := c.Validate(reader)
+	if !r.OK {
+		t.Fatal("full validation should salvage the overrun read-only transaction")
+	}
+	if reader.CommitTS >= writer.CommitTS {
+		t.Fatalf("salvaged reader at ts %d must precede writer at ts %d", reader.CommitTS, writer.CommitTS)
+	}
+	c.Finish(writer)
+	c.Finish(reader)
+}
+
+// TestValidateReadOnlyDoomedIsDecided: a transaction doomed by a
+// conflicting writer's adjustment is rejected on the fast path itself —
+// the same decision full validation would reach, without the ticket.
+func TestValidateReadOnlyDoomedIsDecided(t *testing.T) {
+	c, db := newController(DATI)
+	reader := runSimple(t, c, db, 1, []store.ObjectID{3}, nil)
+	reader.MarkDoomed(txn.Conflict)
+	res, decided := c.ValidateReadOnly(reader)
+	if !decided || res.OK {
+		t.Fatalf("doomed transaction must be decided as rejected: decided=%v ok=%v", decided, res.OK)
+	}
+	st := c.Stats()
+	if st.SelfRestarts != 1 || st.ROFastCommits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Finish(reader)
+}
+
+// TestValidateReadOnlySharedTimestamps: two read-only transactions over
+// the same snapshot may share a commit timestamp — neither consumes a
+// slot, and they cannot observe one another.
+func TestValidateReadOnlySharedTimestamps(t *testing.T) {
+	c, db := newController(DATI)
+	db.Apply(4, []byte{1}, 900)
+	r1 := runSimple(t, c, db, 1, []store.ObjectID{4}, nil)
+	r2 := runSimple(t, c, db, 2, []store.ObjectID{4}, nil)
+	if res, decided := c.ValidateReadOnly(r1); !decided || !res.OK {
+		t.Fatal("first reader must fast-commit")
+	}
+	if res, decided := c.ValidateReadOnly(r2); !decided || !res.OK {
+		t.Fatal("second reader must fast-commit")
+	}
+	if r1.CommitTS != 900 || r2.CommitTS != 900 {
+		t.Fatalf("commit timestamps = %d, %d; want both at the shared snapshot 900", r1.CommitTS, r2.CommitTS)
+	}
+	c.Finish(r1)
+	c.Finish(r2)
+}

@@ -142,9 +142,12 @@ type session struct {
 	class    rodain.Class
 }
 
-// view runs fn with the session's class and deadline (read-only intent).
+// view runs fn with the session's class and deadline, declared
+// read-only: GET/TRANSLATE/BALANCE lookups ride the snapshot fast path
+// (lock-free reads, no conflict registration, commit without a log
+// record).
 func (s *Server) view(sess *session, fn func(*rodain.Tx) error) error {
-	return s.db.Exec(sess.class, sess.deadline, 0, fn)
+	return s.db.ExecReadOnly(sess.class, sess.deadline, 0, fn)
 }
 
 // update runs fn with the session's class and deadline.

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyLockFreeReadsSeeOnlyReferenceStates is the equivalence
+// proof for the versioned read path: while a writer drives a random
+// operation sequence through the striped store, concurrent lock-free
+// readers may only ever observe (value, writeTS) states that the
+// single-mutex reference model passes through when fed the same
+// sequence — never a torn pair, never an invented intermediate.
+//
+// The per-id state history is precomputed on the reference (groups
+// expanded op by op, since a lock-free reader may catch a group
+// half-applied per item), then the striped store runs with readers
+// hammering Get/View/ViewMeta/ReadInfo under -race.
+func TestPropertyLockFreeReadsSeeOnlyReferenceStates(t *testing.T) {
+	const idSpace = 48 * 4 // randOps ids times the group fan-out margin
+	type stateKey struct {
+		val string
+		wts uint64
+		ok  bool
+	}
+	f := func(seed int64) bool {
+		ops := randOps(seed, 300)
+
+		// Phase 1: replay on the reference, recording every state each
+		// id passes through (including the initial absent state).
+		ref := newLockedStore()
+		hist := make(map[ObjectID]map[stateKey]bool)
+		vals := make(map[ObjectID]map[string]bool)
+		note := func(id ObjectID) {
+			v, ok := ref.Get(id)
+			k := stateKey{ok: ok}
+			if ok {
+				_, wts, _ := ref.Timestamps(id)
+				k.val, k.wts = string(v), wts
+				m := vals[id]
+				if m == nil {
+					m = make(map[string]bool)
+					vals[id] = m
+				}
+				m[k.val] = true
+			}
+			m := hist[id]
+			if m == nil {
+				m = make(map[stateKey]bool)
+				hist[id] = m
+			}
+			m[k] = true
+		}
+		for id := ObjectID(0); id < idSpace; id++ {
+			note(id)
+		}
+		for _, op := range ops {
+			switch op.kind {
+			case 0:
+				ref.Put(op.id, op.value)
+				note(op.id)
+			case 1:
+				ref.Apply(op.id, op.value, op.commitTS)
+				note(op.id)
+			case 2:
+				ref.ApplyDelete(op.id, op.commitTS)
+				note(op.id)
+			case 3:
+				ref.Delete(op.id)
+				note(op.id)
+			case 4:
+				// Expand the group: a lock-free reader may observe any
+				// per-item prefix of it, so every intermediate per-id
+				// state is legitimate.
+				for _, g := range op.group {
+					if g.Delete {
+						ref.ApplyDelete(g.ID, op.commitTS)
+					} else {
+						ref.Apply(g.ID, g.Value, op.commitTS)
+					}
+					note(g.ID)
+				}
+			}
+		}
+
+		// Phase 2: run the striped store with concurrent lock-free
+		// readers checking every observation against the history.
+		striped := New()
+		stop := make(chan struct{})
+		var bad error
+		var badMu sync.Mutex
+		report := func(err error) {
+			badMu.Lock()
+			if bad == nil {
+				bad = err
+			}
+			badMu.Unlock()
+		}
+		var readers sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			readers.Add(1)
+			go func(r int) {
+				defer readers.Done()
+				rng := rand.New(rand.NewSource(seed ^ int64(r)))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := ObjectID(rng.Intn(idSpace))
+					v, _, wts, ok := striped.ViewMeta(id)
+					k := stateKey{ok: ok}
+					if ok {
+						k.val, k.wts = string(v), wts
+					}
+					if !hist[id][k] {
+						report(fmt.Errorf("seed %d: reader saw id %d in state {ok:%v wts:%d val:%q} the reference never passed through",
+							seed, id, k.ok, k.wts, k.val))
+						return
+					}
+					// Get returns an owned copy; its value must likewise be
+					// one the reference held for this id at some point.
+					if gv, gok := striped.Get(id); gok && !vals[id][string(gv)] {
+						report(fmt.Errorf("seed %d: Get saw id %d holding %q, a value the reference never held",
+							seed, id, gv))
+						return
+					}
+					striped.ReadInfo(id)
+					if i%128 == 0 {
+						striped.DeletedAt(id)
+					}
+				}
+			}(r)
+		}
+		for _, op := range ops {
+			switch op.kind {
+			case 0:
+				striped.Put(op.id, op.value)
+			case 1:
+				striped.Apply(op.id, op.value, op.commitTS)
+			case 2:
+				striped.ApplyDelete(op.id, op.commitTS)
+			case 3:
+				striped.Delete(op.id)
+			case 4:
+				striped.ApplyGroup(op.group, op.commitTS)
+			}
+		}
+		close(stop)
+		readers.Wait()
+		if bad != nil {
+			t.Log(bad)
+			return false
+		}
+		// Final states must agree exactly.
+		return striped.Checksum() == ref.Checksum() && striped.Len() == ref.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeMetaPairsNeverTearUnderChurn pins the two properties the
+// read-only fast path depends on: (value, writeTS) always come from one
+// atomically published version (a value that encodes its own commit
+// timestamp must always decode to the writeTS returned beside it), and
+// the write timestamp a reader observes for a transactionally
+// maintained item never moves backwards. Structural churn — inserts and
+// deletes of sibling ids plus periodic delete/re-create of the hot ids
+// — keeps republication and the locked fallback window exercised, not
+// just the steady-state table hit.
+func TestLockFreeMetaPairsNeverTearUnderChurn(t *testing.T) {
+	const (
+		hotIDs  = 8
+		rounds  = 4000
+		readers = 3
+	)
+	s := New()
+	encode := func(ts uint64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], ts)
+		return b[:]
+	}
+	for i := 0; i < hotIDs; i++ {
+		s.Apply(ObjectID(i), encode(1), 1)
+	}
+
+	stop := make(chan struct{})
+	var bad error
+	var badMu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last [hotIDs]uint64
+			rng := rand.New(rand.NewSource(int64(r) * 7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ObjectID(rng.Intn(hotIDs))
+				v, _, wts, ok := s.ViewMeta(id)
+				if !ok {
+					continue // mid delete/re-create
+				}
+				if got := binary.LittleEndian.Uint64(v); got != wts {
+					badMu.Lock()
+					if bad == nil {
+						bad = fmt.Errorf("torn version/meta pair on id %d: value says ts %d, writeTS %d", id, got, wts)
+					}
+					badMu.Unlock()
+					return
+				}
+				if wts < last[id] {
+					badMu.Lock()
+					if bad == nil {
+						bad = fmt.Errorf("write timestamp moved backwards on id %d: %d after %d", id, wts, last[id])
+					}
+					badMu.Unlock()
+					return
+				}
+				last[id] = wts
+			}
+		}(r)
+	}
+
+	for ts := uint64(2); ts < rounds; ts++ {
+		id := ObjectID(ts % hotIDs)
+		switch {
+		case ts%97 == 0:
+			// Delete and re-create the hot id at the next timestamps:
+			// readers must see the tombstone or either version, never a
+			// mixture.
+			s.ApplyDelete(id, ts)
+			s.Apply(id, encode(ts+1), ts+1)
+		case ts%13 == 0:
+			// Structural churn in the same stripes: insert and remove a
+			// sibling id to force table republication around the reads.
+			sibling := ObjectID(hotIDs + int(ts%577))
+			s.Apply(sibling, encode(ts), ts)
+			s.ApplyDelete(sibling, ts+1)
+		default:
+			s.Apply(id, encode(ts), ts)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if bad != nil {
+		t.Fatal(bad)
+	}
+}

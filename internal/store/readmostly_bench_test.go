@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkReadMostly sweeps read fraction × worker count for the
+// lock-free versioned read path against the single-mutex reference
+// ablation. The striped rows read through View (an atomic version load,
+// zero-copy, zero-lock); the mutex rows read through the reference's
+// Get (RLock plus clone — the shape of the pre-versioned read path).
+// The pure-read fraction is the acceptance row: the striped View path
+// must report 0 allocs/op, and from two workers up the lock-free rows
+// should beat the mutex rows even on a single-CPU host (no lock word
+// bouncing, no clone).
+func BenchmarkReadMostly(b *testing.B) {
+	type impl struct {
+		name  string
+		make  func() kv
+		reads func(kv) func(ObjectID) bool
+	}
+	impls := []impl{
+		{
+			name: "lockfree",
+			make: func() kv { s := New(); populate(s); return s },
+			reads: func(s kv) func(ObjectID) bool {
+				st := s.(*Store)
+				return func(id ObjectID) bool { _, ok := st.View(id); return ok }
+			},
+		},
+		{
+			name: "mutex",
+			make: func() kv { s := newLockedStore(); populate(s); return s },
+			reads: func(s kv) func(ObjectID) bool {
+				return func(id ObjectID) bool { _, ok := s.Get(id); return ok }
+			},
+		},
+	}
+	fractions := []struct {
+		name       string
+		writeEvery int // 1 Apply per writeEvery ops; 0 = pure reads
+	}{
+		{"read100", 0},
+		{"read99", 100},
+		{"read90", 10},
+	}
+	img := make([]byte, 32)
+	for _, im := range impls {
+		for _, workers := range []int{1, 2, 4} {
+			for _, frac := range fractions {
+				b.Run(fmt.Sprintf("%s/workers=%d/%s", im.name, workers, frac.name), func(b *testing.B) {
+					s := im.make()
+					read := im.reads(s)
+					var ts atomic.Uint64
+					b.ReportAllocs()
+					b.ResetTimer()
+					per := b.N / workers
+					if per == 0 {
+						per = 1
+					}
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						w := w
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							// Prime stride spreads each worker over the
+							// whole id space without a per-op RNG.
+							i := (w + 1) * 104729
+							for n := 0; n < per; n++ {
+								id := ObjectID((i * 7919) % benchObjects)
+								if frac.writeEvery != 0 && n%frac.writeEvery == 0 {
+									s.Apply(id, img, ts.Add(1))
+								} else if !read(id) {
+									panic("missing object")
+								}
+								i++
+							}
+						}()
+					}
+					wg.Wait()
+				})
+			}
+		}
+	}
+}

@@ -6,18 +6,27 @@ import (
 	"sync"
 )
 
+// lockedItem is the pre-versioning item layout: plain fields guarded by
+// the store mutex. The reference model keeps it so that it exercises none
+// of the atomic-publication machinery it is meant to check.
+type lockedItem struct {
+	value   []byte
+	readTS  uint64
+	writeTS uint64
+}
+
 // lockedStore is the pre-striping store: one global RWMutex over a
 // single map. It is kept verbatim as (a) the reference model the
 // property tests compare the striped store against, and (b) the baseline
 // BenchmarkStoreParallel measures the striping win against.
 type lockedStore struct {
 	mu      sync.RWMutex
-	items   map[ObjectID]*item
+	items   map[ObjectID]*lockedItem
 	deleted map[ObjectID]uint64
 }
 
 func newLockedStore() *lockedStore {
-	return &lockedStore{items: make(map[ObjectID]*item), deleted: make(map[ObjectID]uint64)}
+	return &lockedStore{items: make(map[ObjectID]*lockedItem), deleted: make(map[ObjectID]uint64)}
 }
 
 func (s *lockedStore) Len() int {
@@ -49,7 +58,7 @@ func (s *lockedStore) Timestamps(id ObjectID) (readTS, writeTS uint64, ok bool) 
 func (s *lockedStore) Put(id ObjectID, value []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.items[id] = &item{value: cloneBytes(value)}
+	s.items[id] = &lockedItem{value: cloneBytes(value)}
 }
 
 func (s *lockedStore) Apply(id ObjectID, value []byte, commitTS uint64) {
@@ -64,7 +73,7 @@ func (s *lockedStore) applyLocked(id ObjectID, value []byte, commitTS uint64) {
 	}
 	it, ok := s.items[id]
 	if !ok {
-		it = &item{}
+		it = &lockedItem{}
 		s.items[id] = it
 	}
 	if commitTS >= it.writeTS {

@@ -5,20 +5,39 @@
 // phase — deferred writes live in the transaction's private workspace and
 // are applied here only in the write phase, after validation.
 //
-// The store is hash-partitioned into power-of-two lock stripes so that
-// independent transactions touching different objects never contend on a
-// shared mutex. Single-object operations lock exactly one stripe.
-// Multi-object operations (ApplyGroup, Snapshot, Checksum, LoadSnapshot,
-// IDs) acquire the stripes they need in ascending stripe order, which
-// makes them deadlock-free against each other and keeps the guarantees
-// the rest of the system relies on: a Snapshot is a transaction-
-// consistent point-in-time copy, and a validated transaction's write
-// phase becomes visible atomically.
+// The store is hash-partitioned into power-of-two stripes. Writers
+// (Apply, ApplyGroup, Put, deletes, snapshot loads) serialize on the
+// stripe mutex exactly as before: multi-object operations acquire the
+// stripes they need in ascending stripe order, which keeps them
+// deadlock-free against each other, and a Snapshot remains a
+// transaction-consistent point-in-time copy.
+//
+// Reads, however, take no lock at all on the hot path. Every item holds
+// its current state in one immutable version (value + write timestamp +
+// tombstone timestamp) behind an atomic pointer, installed copy-on-write
+// by the write phase; the read timestamp sits beside the pointer as a
+// CAS-max atomic so ObserveRead stays allocation-free. Each stripe
+// additionally publishes an immutable id→item table through an atomic
+// pointer (RCU style): the table is rebuilt and republished only on a
+// structural change — insert, delete, snapshot load — which the paper's
+// number-translation workload makes rare. Get/View/GetMeta/Timestamps/
+// ReadInfo therefore resolve to two or three atomic loads. A reader that
+// misses in its table compares the table's generation against the
+// stripe's structural-change counter (a seqlock-flavoured check): equal
+// means the miss is real, different means a structural change is in
+// flight and the reader falls back to the locked legacy path for that
+// one access.
 //
 // Values are immutable once installed: every update stores a fresh copy
 // and never mutates an installed byte slice in place. This is what makes
 // the zero-copy View/ViewMeta reads safe — a borrowed slice can never be
-// concurrently overwritten, it can only go stale.
+// concurrently overwritten, it can only go stale. Single-item reads stay
+// linearizable (the version-pointer store is the linearization point);
+// what the lock-free path gives up is multi-item group atomicity for
+// readers that bypass the concurrency controller: a reader interleaving
+// with an ApplyGroup may observe some of the group's items installed and
+// others not yet. Transactional readers are unaffected — validation (or
+// the read-only fast path's revalidation) catches exactly that window.
 package store
 
 import (
@@ -26,6 +45,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ObjectID identifies a data item in the database.
@@ -47,10 +67,47 @@ type Op struct {
 	Delete bool
 }
 
+// version is one immutable state of an item: the installed value, the
+// commit timestamp of the writer that installed it, and — for an item
+// that has been transactionally deleted — the deletion timestamp. A
+// version is never mutated after it is stored into an item's pointer;
+// writers install a fresh one. Readers therefore obtain (value, writeTS,
+// deletedTS) as one consistent unit from a single atomic load — no torn
+// value/timestamp pairs.
+type version struct {
+	value     []byte
+	writeTS   uint64
+	deletedTS uint64 // nonzero: the item was deleted at this timestamp
+}
+
+// item is one data item. The current version hangs off an atomic
+// pointer; the read timestamp is a CAS-max atomic beside it (it
+// constrains future writers but is independent of the value, and keeping
+// it out of the version keeps ObserveRead allocation-free). An item
+// reachable from a stale published table whose object has since been
+// deleted carries a tombstone version, so even stale readers observe the
+// deletion without locking.
 type item struct {
-	value   []byte
-	readTS  uint64 // largest commit timestamp of any validated reader
-	writeTS uint64 // commit timestamp of the last validated writer
+	ver    atomic.Pointer[version]
+	readTS atomic.Uint64 // largest commit timestamp of any validated reader
+}
+
+// live reports the item's current version, nil if it is tombstoned.
+func (it *item) live() *version {
+	v := it.ver.Load()
+	if v == nil || v.deletedTS != 0 {
+		return nil
+	}
+	return v
+}
+
+// roTable is a stripe's published, immutable id→item index. Both maps
+// are frozen at publication: lock-free readers may look items up in them
+// concurrently because nothing ever writes a published table.
+type roTable struct {
+	items   map[ObjectID]*item
+	deleted map[ObjectID]uint64 // tombstone commit timestamps
+	gen     uint64              // structGen value this table reflects
 }
 
 // DefaultStripes is the stripe count used by New. Power of two; 64
@@ -58,14 +115,18 @@ type item struct {
 // more cores than a node realistically runs transaction workers on.
 const DefaultStripes = 64
 
-// stripe is one lock partition. Padded to a cache line so neighboring
-// stripes' mutexes do not false-share under write contention.
+// stripe is one lock partition. The mutex serializes writers; readers go
+// through tbl. items/deleted are the authoritative mutable maps, guarded
+// by mu; tbl is their immutable published copy, rebuilt on structural
+// changes only (value updates reuse the shared *item and need no
+// republish).
 type stripe struct {
-	mu      sync.RWMutex
-	items   map[ObjectID]*item
-	deleted map[ObjectID]uint64 // tombstone commit timestamps
-	epoch   uint64              // bumped under mu on every content mutation
-	_       [16]byte            // RWMutex(24) + 2 map headers(16) + epoch(8) + 16 = one cache line
+	mu        sync.RWMutex
+	items     map[ObjectID]*item
+	deleted   map[ObjectID]uint64
+	epoch     uint64 // bumped under mu on every content mutation (checkpointer dirty test)
+	structGen atomic.Uint64
+	tbl       atomic.Pointer[roTable]
 }
 
 // Store is a main-memory object store safe for concurrent use.
@@ -90,10 +151,59 @@ func newStriped(n int) *Store {
 		s.shift--
 	}
 	for i := range s.stripes {
-		s.stripes[i].items = make(map[ObjectID]*item)
-		s.stripes[i].deleted = make(map[ObjectID]uint64)
+		st := &s.stripes[i]
+		st.items = make(map[ObjectID]*item)
+		st.deleted = make(map[ObjectID]uint64)
+		// The published table never aliases the authoritative maps: those
+		// are mutated in place under mu while readers walk the table.
+		st.tbl.Store(&roTable{items: make(map[ObjectID]*item), deleted: make(map[ObjectID]uint64)})
 	}
 	return s
+}
+
+// republish rebuilds the stripe's published table from the authoritative
+// maps. Caller holds the stripe write lock and must have bumped
+// structGen before mutating the maps (bump → mutate → republish is the
+// order the lock-free miss check relies on). The published maps are
+// fresh copies: after publication nothing writes them.
+func (st *stripe) republish() {
+	items := make(map[ObjectID]*item, len(st.items))
+	for id, it := range st.items {
+		items[id] = it
+	}
+	deleted := make(map[ObjectID]uint64, len(st.deleted))
+	for id, ts := range st.deleted {
+		deleted[id] = ts
+	}
+	st.tbl.Store(&roTable{items: items, deleted: deleted, gen: st.structGen.Load()})
+}
+
+// lookup is the lock-free read entry: it resolves id to its current
+// version, or reports how the miss should be handled.
+//
+//	it != nil, v != nil  — the item exists; v is its state (linearized
+//	                       at the version load)
+//	ok == true, v == nil — the item definitely does not exist (tombstone
+//	                       or a miss in a table proven current)
+//	ok == false          — a structural change is in flight; the caller
+//	                       must fall back to the locked path
+func (st *stripe) lookup(id ObjectID) (it *item, v *version, ok bool) {
+	tbl := st.tbl.Load()
+	if it = tbl.items[id]; it != nil {
+		if v = it.live(); v != nil {
+			return it, v, true
+		}
+		// Tombstoned: the deletion is definitive even if the table is
+		// stale — versions only move forward.
+		return nil, nil, true
+	}
+	// Miss. If no structural change has happened since this table was
+	// published, the miss is real; otherwise an insert may be in flight
+	// and only the locked path can answer.
+	if st.structGen.Load() == tbl.gen {
+		return nil, nil, true
+	}
+	return nil, nil, false
 }
 
 // stripeIndex hashes an object id to its stripe. Fibonacci hashing keeps
@@ -135,18 +245,37 @@ func (s *Store) Len() int {
 }
 
 // Get returns a copy of the object's value. It reports false if the
-// object does not exist.
+// object does not exist. The common case is two atomic loads plus the
+// copy; only a read racing a structural change on its stripe touches the
+// stripe lock, and even then the value is cloned after the lock is
+// released (installed values are immutable, so the clone needs no lock).
 func (s *Store) Get(id ObjectID) ([]byte, bool) {
 	st := s.stripeFor(id)
-	st.mu.RLock()
-	it, ok := st.items[id]
-	if !ok {
-		st.mu.RUnlock()
+	if _, v, ok := st.lookup(id); ok {
+		if v == nil {
+			return nil, false
+		}
+		return cloneBytes(v.value), true
+	}
+	v := st.lockedVersion(id)
+	if v == nil {
 		return nil, false
 	}
-	v := cloneBytes(it.value)
+	return cloneBytes(v.value), true
+}
+
+// lockedVersion is the structural-change-window fallback: resolve the
+// item under the stripe read lock. The returned version is immutable, so
+// callers clone or decode it after the lock is released.
+func (st *stripe) lockedVersion(id ObjectID) *version {
+	st.mu.RLock()
+	it, ok := st.items[id]
+	var v *version
+	if ok {
+		v = it.live()
+	}
 	st.mu.RUnlock()
-	return v, true
+	return v
 }
 
 // View returns the object's value without copying. The returned slice is
@@ -157,73 +286,94 @@ func (s *Store) Get(id ObjectID) ([]byte, bool) {
 // and discard it. Use Get where the caller needs an owned copy.
 func (s *Store) View(id ObjectID) ([]byte, bool) {
 	st := s.stripeFor(id)
-	st.mu.RLock()
-	it, ok := st.items[id]
-	if !ok {
-		st.mu.RUnlock()
+	if _, v, ok := st.lookup(id); ok {
+		if v == nil {
+			return nil, false
+		}
+		return v.value, true
+	}
+	v := st.lockedVersion(id)
+	if v == nil {
 		return nil, false
 	}
-	v := it.value
-	st.mu.RUnlock()
-	return v, true
+	return v.value, true
 }
 
 // GetMeta returns a copy of the value together with the item's read and
 // write timestamps.
 func (s *Store) GetMeta(id ObjectID) (value []byte, readTS, writeTS uint64, ok bool) {
-	st := s.stripeFor(id)
-	st.mu.RLock()
-	it, ok := st.items[id]
-	if !ok {
-		st.mu.RUnlock()
-		return nil, 0, 0, false
+	value, readTS, writeTS, ok = s.ViewMeta(id)
+	if ok {
+		value = cloneBytes(value)
 	}
-	value, readTS, writeTS = cloneBytes(it.value), it.readTS, it.writeTS
-	st.mu.RUnlock()
-	return value, readTS, writeTS, true
+	return value, readTS, writeTS, ok
 }
 
 // ViewMeta is GetMeta without the value copy; the View borrowing
-// contract applies to the returned slice.
+// contract applies to the returned slice. (value, writeTS) come from one
+// immutable version — a single atomic load — so the pair can never tear;
+// readTS is an independently monotone atomic read beside it.
 func (s *Store) ViewMeta(id ObjectID) (value []byte, readTS, writeTS uint64, ok bool) {
 	st := s.stripeFor(id)
+	if it, v, fastOK := st.lookup(id); fastOK {
+		if v == nil {
+			return nil, 0, 0, false
+		}
+		return v.value, it.readTS.Load(), v.writeTS, true
+	}
 	st.mu.RLock()
 	it, ok := st.items[id]
-	if !ok {
-		st.mu.RUnlock()
+	var v *version
+	if ok {
+		v = it.live()
+	}
+	st.mu.RUnlock()
+	if v == nil {
 		return nil, 0, 0, false
 	}
-	value, readTS, writeTS = it.value, it.readTS, it.writeTS
-	st.mu.RUnlock()
-	return value, readTS, writeTS, true
+	return v.value, it.readTS.Load(), v.writeTS, true
 }
 
 // Timestamps returns the item's read and write timestamps without copying
 // the value.
 func (s *Store) Timestamps(id ObjectID) (readTS, writeTS uint64, ok bool) {
-	st := s.stripeFor(id)
-	st.mu.RLock()
-	it, ok := st.items[id]
-	if !ok {
-		st.mu.RUnlock()
-		return 0, 0, false
-	}
-	readTS, writeTS = it.readTS, it.writeTS
-	st.mu.RUnlock()
-	return readTS, writeTS, true
+	_, readTS, writeTS, ok = s.ViewMeta(id)
+	return readTS, writeTS, ok
 }
 
 // ReadInfo returns the item's timestamps together with its tombstone
-// timestamp in a single lock acquisition — the copy-free read the
-// validation path performs per write-set member. exists reports whether
-// the item is present; deletedTS is meaningful either way.
+// timestamp — the copy-free read the validation path performs per
+// write-set member. exists reports whether the item is present;
+// deletedTS is meaningful either way. Lock-free in the common case; a
+// racing structural change falls back to the stripe lock so the answer
+// is never built from a half-published table.
 func (s *Store) ReadInfo(id ObjectID) (readTS, writeTS, deletedTS uint64, exists bool) {
 	st := s.stripeFor(id)
+	tbl := st.tbl.Load()
+	if it := tbl.items[id]; it != nil {
+		if v := it.live(); v != nil {
+			// Live item: its version is authoritative; the tombstone
+			// entry (from a deletion before this item's re-creation) only
+			// matters if the table is still current.
+			if st.structGen.Load() == tbl.gen {
+				return it.readTS.Load(), v.writeTS, tbl.deleted[id], true
+			}
+		} else if v := it.ver.Load(); v != nil && v.deletedTS != 0 {
+			// Tombstoned version: definitive even from a stale table.
+			return 0, 0, v.deletedTS, false
+		}
+	} else if st.structGen.Load() == tbl.gen {
+		return 0, 0, tbl.deleted[id], false
+	}
 	st.mu.RLock()
 	deletedTS = st.deleted[id]
 	it, exists := st.items[id]
 	if exists {
-		readTS, writeTS = it.readTS, it.writeTS
+		if v := it.live(); v != nil {
+			readTS, writeTS = it.readTS.Load(), v.writeTS
+		} else {
+			exists = false
+		}
 	}
 	st.mu.RUnlock()
 	return readTS, writeTS, deletedTS, exists
@@ -234,8 +384,18 @@ func (s *Store) ReadInfo(id ObjectID) (readTS, writeTS, deletedTS uint64, exists
 func (s *Store) Put(id ObjectID, value []byte) {
 	st := s.stripeFor(id)
 	st.mu.Lock()
-	st.items[id] = &item{value: cloneBytes(value)}
 	st.epoch++
+	v := &version{value: cloneBytes(value)}
+	if it, ok := st.items[id]; ok {
+		it.ver.Store(v)
+		it.readTS.Store(0)
+	} else {
+		it = &item{}
+		it.ver.Store(v)
+		st.structGen.Add(1)
+		st.items[id] = it
+		st.republish()
+	}
 	st.mu.Unlock()
 }
 
@@ -254,7 +414,10 @@ func (s *Store) Apply(id ObjectID, value []byte, commitTS uint64) {
 // phases run concurrently, a transaction with a lower commit timestamp
 // may reach the stripe after one with a higher timestamp, and its
 // after image must not clobber the newer value (last-writer-wins by
-// commitTS, mirroring applyDelete's tombstone check).
+// commitTS, mirroring applyDelete's tombstone check). An update of an
+// existing item publishes one fresh version through the item's pointer —
+// the structure is untouched, so no table rebuild happens on the
+// steady-state write path.
 func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
 	st.epoch++ // conservative: count guarded no-ops too; a spurious bump only costs a copy
 	if st.deleted[id] > commitTS {
@@ -263,23 +426,44 @@ func (st *stripe) apply(id ObjectID, value []byte, commitTS uint64) {
 	it, ok := st.items[id]
 	if !ok {
 		it = &item{}
+		it.ver.Store(&version{value: cloneBytes(value), writeTS: commitTS})
+		st.structGen.Add(1)
 		st.items[id] = it
+		st.republish()
+		return
 	}
-	if commitTS >= it.writeTS {
-		it.value = cloneBytes(value)
-		it.writeTS = commitTS
+	if cur := it.ver.Load(); cur == nil || commitTS >= cur.writeTS {
+		it.ver.Store(&version{value: cloneBytes(value), writeTS: commitTS})
 	}
 }
 
 // ObserveRead records that a transaction with the given commit timestamp
-// read the object, advancing the item's read timestamp.
+// read the object, advancing the item's read timestamp. It is a
+// lock-free CAS-max: the read timestamp is advisory metadata for
+// validation (monotone, independent of the value), so it needs neither
+// the stripe lock nor a fresh version.
 func (s *Store) ObserveRead(id ObjectID, commitTS uint64) {
 	st := s.stripeFor(id)
-	st.mu.Lock()
-	if it, ok := st.items[id]; ok && commitTS > it.readTS {
-		it.readTS = commitTS
+	it, v, ok := st.lookup(id)
+	if !ok {
+		st.mu.RLock()
+		if cur, found := st.items[id]; found {
+			it, v = cur, cur.live()
+		}
+		st.mu.RUnlock()
 	}
-	st.mu.Unlock()
+	if it == nil || v == nil {
+		return
+	}
+	for {
+		cur := it.readTS.Load()
+		if commitTS <= cur {
+			return
+		}
+		if it.readTS.CompareAndSwap(cur, commitTS) {
+			return
+		}
+	}
 }
 
 // ApplyDelete installs a validated transactional deletion. Unlike
@@ -295,27 +479,39 @@ func (s *Store) ApplyDelete(id ObjectID, commitTS uint64) {
 	st.mu.Unlock()
 }
 
-// applyDelete is ApplyDelete with the stripe lock held.
+// applyDelete is ApplyDelete with the stripe lock held. The removed
+// item's version is replaced with a tombstone version first, so readers
+// holding a stale published table observe the deletion too.
 func (st *stripe) applyDelete(id ObjectID, commitTS uint64) {
 	st.epoch++
 	it, ok := st.items[id]
-	if ok && it.writeTS > commitTS {
-		return // a newer write already superseded this deletion
+	if ok {
+		if v := it.ver.Load(); v != nil && v.deletedTS == 0 && v.writeTS > commitTS {
+			return // a newer write already superseded this deletion
+		}
+		it.ver.Store(&version{deletedTS: commitTS})
 	}
+	st.structGen.Add(1)
 	delete(st.items, id)
 	if commitTS > st.deleted[id] {
 		st.deleted[id] = commitTS
 	}
+	st.republish()
 }
 
 // ApplyGroup installs one committed transaction's writes and deletes as
-// a single atomic step: every stripe the group touches is locked (in
-// ascending stripe order, so concurrent groups and whole-store readers
-// cannot deadlock) before the first update and released after the last.
-// A concurrent Snapshot therefore sees either none or all of the group —
-// the write phase is atomic, exactly as it was under one global mutex.
-// Ops are applied in slice order, so a group may write and then delete
-// (or re-write) the same object with last-op-wins semantics.
+// a single atomic step with respect to locked whole-store readers: every
+// stripe the group touches is locked (in ascending stripe order, so
+// concurrent groups and whole-store readers cannot deadlock) before the
+// first update and released after the last, so a concurrent Snapshot
+// sees either none or all of the group. Lock-free single-item readers
+// observe each item's new version the moment it is stored — per-item
+// linearizable, but a multi-read sequence can straddle the group; the
+// concurrency controller's validation (and the read-only fast path's
+// revalidation against the committed-write overlay) is what restores
+// transaction-level atomicity for them. Ops are applied in slice order,
+// so a group may write and then delete (or re-write) the same object
+// with last-op-wins semantics.
 func (s *Store) ApplyGroup(ops []Op, commitTS uint64) {
 	switch len(ops) {
 	case 0:
@@ -369,8 +565,14 @@ func (s *Store) ApplyGroup(ops []Op, commitTS uint64) {
 // transactionally deleted).
 func (s *Store) DeletedAt(id ObjectID) uint64 {
 	st := s.stripeFor(id)
+	tbl := st.tbl.Load()
+	ts, present := tbl.deleted[id]
+	if st.structGen.Load() == tbl.gen {
+		return ts
+	}
+	_ = present
 	st.mu.RLock()
-	ts := st.deleted[id]
+	ts = st.deleted[id]
 	st.mu.RUnlock()
 	return ts
 }
@@ -379,10 +581,13 @@ func (s *Store) DeletedAt(id ObjectID) uint64 {
 func (s *Store) Delete(id ObjectID) bool {
 	st := s.stripeFor(id)
 	st.mu.Lock()
-	_, ok := st.items[id]
+	it, ok := st.items[id]
 	if ok {
+		it.ver.Store(&version{deletedTS: ^uint64(0)}) // non-transactional removal: stale tables must still see it gone
+		st.structGen.Add(1)
 		delete(st.items, id)
 		st.epoch++
+		st.republish()
 	}
 	st.mu.Unlock()
 	return ok
@@ -436,7 +641,9 @@ func (s *Store) Snapshot() []Record {
 	recs := make([]Record, 0, s.lenLocked())
 	for i := range s.stripes {
 		for id, it := range s.stripes[i].items {
-			recs = append(recs, Record{ID: id, Value: cloneBytes(it.value), WriteTS: it.writeTS})
+			if v := it.live(); v != nil {
+				recs = append(recs, Record{ID: id, Value: cloneBytes(v.value), WriteTS: v.writeTS})
+			}
 		}
 	}
 	s.runlockAll()
@@ -448,7 +655,9 @@ func (s *Store) Snapshot() []Record {
 // the stripe lock on every content mutation (transactional applies,
 // bulk loads, deletes, snapshot loads). Two equal readings with no
 // mutation in between mean the stripe's contents are unchanged — the
-// dirty-stripe test the incremental checkpointer uses.
+// dirty-stripe test the incremental checkpointer uses. (ObserveRead is
+// deliberately not a mutation: read-timestamp advances carry no
+// recoverable state, exactly as before the lock-free read path.)
 func (s *Store) StripeEpoch(i int) uint64 {
 	st := &s.stripes[i]
 	st.mu.RLock()
@@ -472,7 +681,9 @@ func (s *Store) SnapshotStripe(i int) ([]Record, uint64) {
 	st.mu.RLock()
 	recs := make([]Record, 0, len(st.items))
 	for id, it := range st.items {
-		recs = append(recs, Record{ID: id, Value: it.value, WriteTS: it.writeTS})
+		if v := it.live(); v != nil {
+			recs = append(recs, Record{ID: id, Value: v.value, WriteTS: v.writeTS})
+		}
 	}
 	epoch := st.epoch
 	st.mu.RUnlock()
@@ -486,15 +697,25 @@ func (s *Store) LoadSnapshot(recs []Record) {
 		s.stripes[i].mu.Lock()
 	}
 	for i := range s.stripes {
-		s.stripes[i].items = make(map[ObjectID]*item)
-		s.stripes[i].deleted = make(map[ObjectID]uint64)
-		s.stripes[i].epoch++
+		st := &s.stripes[i]
+		// Tombstone every replaced item so stale published tables do not
+		// resurrect pre-snapshot state for lock-free readers.
+		for _, it := range st.items {
+			it.ver.Store(&version{deletedTS: ^uint64(0)})
+		}
+		st.structGen.Add(1)
+		st.items = make(map[ObjectID]*item)
+		st.deleted = make(map[ObjectID]uint64)
+		st.epoch++
 	}
 	for _, r := range recs {
 		st := s.stripeFor(r.ID)
-		st.items[r.ID] = &item{value: cloneBytes(r.Value), writeTS: r.WriteTS}
+		it := &item{}
+		it.ver.Store(&version{value: cloneBytes(r.Value), writeTS: r.WriteTS})
+		st.items[r.ID] = it
 	}
 	for i := range s.stripes {
+		s.stripes[i].republish()
 		s.stripes[i].mu.Unlock()
 	}
 }
@@ -518,7 +739,9 @@ func (s *Store) Checksum() uint32 {
 	for _, id := range ids {
 		putUint64(buf[:], uint64(id))
 		h.Write(buf[:])
-		h.Write(s.stripeFor(id).items[id].value)
+		if v := s.stripeFor(id).items[id].live(); v != nil {
+			h.Write(v.value)
+		}
 		h.Write([]byte{0xff}) // separator so (1,"ab")+(2,"") != (1,"a")+(2,"b")
 	}
 	return h.Sum32()

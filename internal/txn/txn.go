@@ -180,6 +180,15 @@ type Transaction struct {
 	// transactions. The mirror reorders log records by this.
 	SerialOrder uint64
 
+	// roDeclared marks a transaction its submitter declared read-only.
+	// The engine skips per-read controller registration for such a
+	// transaction and commits it through the read-only snapshot fast
+	// path; a declaration that proves wrong (the body stages a write, or
+	// the fast path cannot certify the snapshot) is demoted and the
+	// transaction restarts through the fully registered path — the
+	// declaration is a performance hint, never a correctness contract.
+	roDeclared bool
+
 	readSet    []ReadEntry
 	readIndex  map[store.ObjectID]int
 	writes     map[store.ObjectID][]byte // deferred after images
@@ -283,6 +292,20 @@ func (t *Transaction) Expired(now simtime.Time) bool {
 
 // ReadOnly reports whether the transaction staged no writes or deletes.
 func (t *Transaction) ReadOnly() bool { return len(t.writes) == 0 && len(t.tombstones) == 0 }
+
+// DeclareReadOnly marks the transaction as submitter-declared read-only
+// (see the roDeclared field). Call before the body first runs.
+func (t *Transaction) DeclareReadOnly() { t.roDeclared = true }
+
+// ReadOnlyDeclared reports whether the submitter declared this
+// transaction read-only and it has not been demoted since.
+func (t *Transaction) ReadOnlyDeclared() bool { return t.roDeclared }
+
+// DemoteReadOnly withdraws the read-only declaration: subsequent
+// attempts run through the fully registered read path. Demotion is
+// one-way for the transaction's lifetime — a declaration that proved
+// wrong once is not trusted again.
+func (t *Transaction) DemoteReadOnly() { t.roDeclared = false }
 
 // Read performs a transactional read against db: it returns the
 // transaction's own deferred write if one exists (read-your-writes, and

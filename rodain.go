@@ -195,6 +195,11 @@ type Options struct {
 	// instead of the fuzzy stripe-incremental one — an ablation knob;
 	// see DESIGN §8.
 	FrozenCheckpoint bool
+	// NoReadOnlyFastPath disables the read-only snapshot fast path: View
+	// (and ExecReadOnly) transactions register every read with the
+	// concurrency controller and commit through full validation and the
+	// log path, like any update. An ablation knob; see DESIGN §8.
+	NoReadOnlyFastPath bool
 }
 
 func (o Options) coreConfig() (core.Config, error) {
@@ -211,6 +216,7 @@ func (o Options) coreConfig() (core.Config, error) {
 		RecoverWorkers:     o.RecoverWorkers,
 		MirrorApplyWorkers: o.MirrorApplyWorkers,
 		FrozenCheckpoint:   o.FrozenCheckpoint,
+		NoReadOnlyFastPath: o.NoReadOnlyFastPath,
 	}
 	if o.MaxActive > 0 {
 		cfg.Overload = sched.OverloadConfig{MaxActive: o.MaxActive}
@@ -341,16 +347,27 @@ func (db *DB) Update(deadline time.Duration, fn func(*Tx) error) error {
 	return db.node.Execute(core.Request{Class: txn.Firm, Deadline: deadline, Do: fn})
 }
 
-// View runs fn as a firm-deadline transaction, by convention read-only
-// (writes are not prevented, but the name documents intent).
+// View runs fn as a firm-deadline read-only transaction. Its reads skip
+// conflict registration and commit through the controller's snapshot
+// fast path — no serial ticket, no log record, no mirror round trip
+// (unless Options.NoReadOnlyFastPath disabled it). Writes are not
+// prevented: a View body that writes anyway is transparently demoted to
+// the fully registered read-write path at the cost of one restart.
 func (db *DB) View(deadline time.Duration, fn func(*Tx) error) error {
-	return db.node.Execute(core.Request{Class: txn.Firm, Deadline: deadline, Do: fn})
+	return db.node.Execute(core.Request{Class: txn.Firm, Deadline: deadline, ReadOnly: true, Do: fn})
 }
 
 // Exec runs a transaction with full control over class, deadline and
 // criticality.
 func (db *DB) Exec(class Class, deadline time.Duration, criticality int, fn func(*Tx) error) error {
 	return db.node.Execute(core.Request{Class: class, Deadline: deadline, Criticality: criticality, Do: fn})
+}
+
+// ExecReadOnly is Exec with the read-only declaration View makes: full
+// control over class, deadline and criticality, reads on the snapshot
+// fast path.
+func (db *DB) ExecReadOnly(class Class, deadline time.Duration, criticality int, fn func(*Tx) error) error {
+	return db.node.Execute(core.Request{Class: class, Deadline: deadline, Criticality: criticality, ReadOnly: true, Do: fn})
 }
 
 // Events delivers role-change notifications (mirror attached/lost,
@@ -381,6 +398,14 @@ type Stats struct {
 	Mode string
 	// LogMode is the current commit path.
 	LogMode string
+	// ROFastCommits counts read-only transactions committed on the
+	// snapshot fast path (no serial ticket, no log record).
+	ROFastCommits uint64
+	// ROFallbacks counts read-only fast-path attempts that fell back to
+	// full validation (snapshot no longer certifiable).
+	ROFallbacks uint64
+	// ReadLatency digests the per-read data-access latency distribution.
+	ReadLatency metrics.HistogramSummary
 }
 
 // Stats returns a snapshot of the node's counters. Zero for a mirror
@@ -391,6 +416,7 @@ func (db *DB) Stats() Stats {
 		return Stats{Mode: db.node.Mode().String()}
 	}
 	snap := e.Outcome().Snapshot()
+	occStats := e.Controller().Stats()
 	return Stats{
 		Outcome:        snap,
 		MissRatio:      snap.MissRatio(),
@@ -399,6 +425,9 @@ func (db *DB) Stats() Stats {
 		P95Response:    e.ResponseTimes().Quantile(0.95),
 		Mode:           db.node.Mode().String(),
 		LogMode:        e.LogMode().String(),
+		ROFastCommits:  occStats.ROFastCommits,
+		ROFallbacks:    occStats.ROFallbacks,
+		ReadLatency:    occStats.ReadLatency,
 	}
 }
 
