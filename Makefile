@@ -14,7 +14,7 @@ check: build vet lint test race-hot benchfast
 
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race ./internal/store ./internal/core ./internal/occ ./internal/txn ./internal/transport ./internal/logstore ./internal/wal
+	$(GO) test -race ./internal/store ./internal/core ./internal/occ ./internal/txn ./internal/transport ./internal/logstore ./internal/wal ./internal/service
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ benchfast:
 	$(GO) test -run xxx -bench 'BenchmarkReadMostly' -benchmem -benchtime=20000x ./internal/store
 	$(GO) test -run xxx -bench 'BenchmarkShipperAllocs' -benchmem -benchtime=10000x ./internal/core
 	$(GO) test -run xxx -bench 'BenchmarkStoreReadWrite|BenchmarkShippedCommit' -benchmem -benchtime=10000x .
+	$(GO) test -run xxx -bench 'BenchmarkTokenize|BenchmarkServiceThroughput' -benchmem -benchtime=1000x ./internal/service
 
 # Machine-readable hot-path benchmark results, one JSON file per
 # package (BENCH_store.json, BENCH_core.json, BENCH_wal.json): the
@@ -52,6 +53,7 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkCheckpointPause|BenchmarkRecoverFromCheckpoint' -benchmem -benchtime=3x ./internal/core | $(GO) run ./cmd/rodain-benchjson -o BENCH_ckpt.json
 	( $(GO) test -run xxx -bench 'BenchmarkReadMostly' -benchmem -benchtime=50000x ./internal/store ; \
 	  $(GO) test -run xxx -bench 'BenchmarkReadOnlyTxn' -benchmem -benchtime=5000x ./internal/core ) | $(GO) run ./cmd/rodain-benchjson -o BENCH_read.json
+	$(GO) test -run xxx -bench 'BenchmarkTokenize|BenchmarkServiceThroughput' -benchmem -benchtime=2000x ./internal/service | $(GO) run ./cmd/rodain-benchjson -o BENCH_service.json
 
 # Per-benchmark deltas between two bench-json snapshots (ns/op, allocs,
 # custom metrics), flagging regressions past THRESHOLD percent:

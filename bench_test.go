@@ -1,4 +1,4 @@
-package rodain
+package rodain_test
 
 // Benchmark harness: one benchmark per figure/table of the paper (quick
 // settings — `cmd/rodain-experiments` runs the paper-scale versions) plus
@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	. "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/logstore"

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, readscaling, shipscaling, ckpt, ablations, timeline")
+		fig    = flag.String("fig", "all", "experiment: all, 2a, 2b, 3a, 3b, 3c, takeover, recovery, occscaling, readscaling, frontend, shipscaling, ckpt, ablations, timeline")
 		quick  = flag.Bool("quick", false, "cheap settings (fewer repetitions and transactions)")
 		reps   = flag.Int("reps", 0, "override repetitions per point")
 		count  = flag.Int("count", 0, "override transactions per session")
@@ -126,6 +126,19 @@ func main() {
 		fmt.Println()
 	}
 
+	runFrontend := func() {
+		requests := 20000
+		if *quick {
+			requests = 4000
+		}
+		rs, err := experiments.Frontend(1024, requests, 4, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.FrontendTable(rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	runShipScaling := func() {
 		txns := 20000
 		fsyncTxns := 4000
@@ -190,6 +203,7 @@ func main() {
 		runRecoveryScaling()
 		runOCCScaling()
 		runReadScaling()
+		runFrontend()
 		runShipScaling()
 		runCheckpoint()
 		runAblations()
@@ -202,6 +216,8 @@ func main() {
 		runOCCScaling()
 	case "readscaling", "read-scaling", "readonly":
 		runReadScaling()
+	case "frontend", "front-end", "pipeline":
+		runFrontend()
 	case "shipscaling", "ship-scaling", "ship":
 		runShipScaling()
 	case "ckpt", "checkpoint":

@@ -51,6 +51,9 @@ func main() {
 		groupWin   = flag.Duration("group-commit", 0, "legacy fixed-window disk batching (0 = adaptive leader/follower group fsync)")
 		maxCohort  = flag.Int("max-cohort", 0, "max transactions per group-commit cohort (0 = default 64)")
 		cohortHold = flag.Duration("cohort-hold", 0, "max adaptive hold for group-commit stragglers (0 = default 200µs, <0 = off)")
+		pipeDepth  = flag.Int("pipeline-depth", service.DefaultPipelineDepth, "per-connection request window (1 = no pipelining)")
+		svcWorkers = flag.Int("service-workers", service.DefaultWorkers, "shared pool executing read-only requests")
+		idleConn   = flag.Duration("idle-timeout", 2*time.Minute, "disconnect clients idle this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -142,7 +145,11 @@ func main() {
 		}
 	}
 
-	srv := service.NewServer(db)
+	srv := service.NewServerConfig(db, service.Config{
+		PipelineDepth: *pipeDepth,
+		Workers:       *svcWorkers,
+		IdleTimeout:   *idleConn,
+	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("service listen: %v", err)

@@ -249,6 +249,14 @@ func (e *Engine) CommitWaits() *metrics.Histogram { return e.commitWait }
 // Overload exposes the overload manager.
 func (e *Engine) Overload() *sched.Overload { return e.overload }
 
+// AtAdmissionLimit reports whether the overload manager would deny an
+// arriving transaction right now. Service front ends consult it at the
+// socket so overload misses are answered before any work is queued;
+// Execute still runs real admission, so the check is advisory.
+func (e *Engine) AtAdmissionLimit() bool {
+	return !e.overload.WouldAdmit(e.clock.Now())
+}
+
 // LogMode reports the engine's current logging mode.
 func (e *Engine) LogMode() LogMode { return LogMode(e.logMode.Load()) }
 

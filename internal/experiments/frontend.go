@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	rodain "repro"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/telecom"
+)
+
+// FrontendResult is one cell of the pipelined-front-end series: closed-
+// loop throughput over real TCP connections at one (connections,
+// pipeline depth) point. Depth 1 is the serial ablation — one request
+// in flight per connection, the pre-pipelining front end — and Speedup
+// is measured against it at the same connection count.
+type FrontendResult struct {
+	Conns      int
+	Depth      int
+	Requests   int
+	Misses     int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	Speedup    float64 // vs depth 1 at the same connection count
+}
+
+// Frontend measures the service front end end to end: a populated
+// single node behind the line protocol, driven closed-loop by conns
+// connections each keeping depth requests in flight, over a telecom mix
+// of 90% GET lookups and 10% SET updates. The depth sweep shows what
+// pipelining buys over the one-request-per-round-trip ablation: with
+// several requests parsed ahead, lookups from one connection overlap on
+// the worker pool and responses coalesce into batched writes.
+func Frontend(objects, requests, conns int, depths []int) ([]FrontendResult, error) {
+	if objects <= 0 {
+		objects = 1024
+	}
+	if requests <= 0 {
+		requests = 20000
+	}
+	if conns <= 0 {
+		conns = 4
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4, 8, 16}
+	}
+	var out []FrontendResult
+	var serial float64
+	for _, depth := range depths {
+		r, err := frontendPoint(objects, requests, conns, depth)
+		if err != nil {
+			return out, err
+		}
+		if depth == 1 {
+			serial = r.Throughput
+		}
+		if serial > 0 {
+			r.Speedup = r.Throughput / serial
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func frontendPoint(objects, requests, conns, depth int) (FrontendResult, error) {
+	db, err := rodain.Open(rodain.Options{
+		Durability: rodain.DurNone, Workers: 4, MaxActive: 512,
+	})
+	if err != nil {
+		return FrontendResult{}, err
+	}
+	defer db.Close()
+	for i := 0; i < objects; i++ {
+		db.Load(rodain.ObjectID(i), telecom.Encode(&telecom.Entry{
+			Routed: fmt.Sprintf("+35850%07d", i), Weight: 100, Active: true, Version: 1,
+		}))
+	}
+	srv := service.NewServerConfig(db, service.Config{PipelineDepth: depth, Workers: 16})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return FrontendResult{}, err
+	}
+	defer srv.Close()
+
+	rngs := make([]*rand.Rand, conns)
+	for c := range rngs {
+		rngs[c] = rand.New(rand.NewSource(int64(c)*15485863 + 1))
+	}
+	line := func(c, i int) string {
+		if i == 0 {
+			return "DEADLINE 5000" // closed loop measures throughput, not misses
+		}
+		rng := rngs[c]
+		if rng.Intn(100) < 90 {
+			return fmt.Sprintf("GET %d", rng.Intn(objects))
+		}
+		return fmt.Sprintf("REROUTE %d +35840%07d", rng.Intn(objects), rng.Intn(objects))
+	}
+	res, err := service.GenerateLoad(addr, conns, depth, requests, 2*time.Second, line)
+	if err != nil {
+		return FrontendResult{}, err
+	}
+	return FrontendResult{
+		Conns: conns, Depth: depth,
+		Requests: res.Requests, Misses: res.Misses, Errors: res.Errors,
+		Elapsed: res.Elapsed, Throughput: res.Throughput,
+	}, nil
+}
+
+// FrontendTable renders the depth sweep, depth-1 ablation first so the
+// speedup column reads as "what pipelining buys".
+func FrontendTable(rs []FrontendResult) *metrics.Table {
+	t := &metrics.Table{
+		Title:  "pipelined front end — closed-loop service throughput, 90% GET mix",
+		Header: []string{"conns", "depth", "requests", "misses", "errors", "elapsed", "req/sec", "speedup"},
+	}
+	for _, r := range rs {
+		speed := ""
+		if r.Depth != 1 && r.Speedup > 0 {
+			speed = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Conns),
+			fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.Misses),
+			fmt.Sprintf("%d", r.Errors),
+			r.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", r.Throughput),
+			speed,
+		)
+	}
+	return t
+}

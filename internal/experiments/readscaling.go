@@ -128,7 +128,7 @@ func readScalingPoint(objects, txns, workers int, fastPath bool) (ReadScalingRes
 	return ReadScalingResult{
 		Workers: workers, FastPath: fastPath, Txns: per * workers,
 		Committed: committed.Load(), ROFast: st.ROFastCommits, ROFallbacks: st.ROFallbacks,
-		Elapsed: elapsed,
+		Elapsed:    elapsed,
 		Throughput: float64(committed.Load()) / elapsed.Seconds(),
 	}, nil
 }

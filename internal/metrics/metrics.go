@@ -224,6 +224,38 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Summary digests the histogram into its copyable snapshot form.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSummary{Count: h.count, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / time.Duration(h.count)
+	quantile := func(q float64) time.Duration {
+		target := uint64(math.Ceil(q * float64(h.count)))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, n := range h.buckets {
+			cum += n
+			if cum >= target {
+				if b := boundFor(i); b < h.max {
+					return b
+				}
+				return h.max
+			}
+		}
+		return h.max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}
+
 // --- AtomicHistogram ---------------------------------------------------------
 
 // AtomicHistogram is the lock-free sibling of Histogram: the same

@@ -321,6 +321,21 @@ func (o *Overload) Admit(now simtime.Time) bool {
 	return true
 }
 
+// WouldAdmit reports whether a transaction arriving at now would be
+// admitted, without taking a slot or counting a denial. It is the
+// advisory pre-check a service front end runs at the socket: when false
+// the request can be answered MISS overload before any execution
+// resources are spent on it. The answer is a snapshot — a concurrent
+// arrival may still take the last slot — so admission proper remains
+// Admit's job.
+func (o *Overload) WouldAdmit(now simtime.Time) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pruneLocked(now)
+	o.adaptLocked(now)
+	return o.active < o.limit
+}
+
 // ForceAdmit takes a slot unconditionally: used when an arriving
 // high-criticality transaction displaces a queued victim whose slot is
 // released asynchronously. The active count may transiently exceed the

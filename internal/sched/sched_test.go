@@ -414,3 +414,29 @@ func TestForceAdmit(t *testing.T) {
 	o.Done()
 	o.Done()
 }
+
+func TestOverloadWouldAdmit(t *testing.T) {
+	o := NewOverload(OverloadConfig{MaxActive: 2})
+	if !o.WouldAdmit(0) {
+		t.Fatal("WouldAdmit false on an empty manager")
+	}
+	o.Admit(0)
+	if !o.WouldAdmit(0) {
+		t.Fatal("WouldAdmit false below the limit")
+	}
+	o.Admit(0)
+	if o.WouldAdmit(0) {
+		t.Fatal("WouldAdmit true at the limit")
+	}
+	// Advisory only: no slot taken, no denial counted.
+	if o.Active() != 2 {
+		t.Fatalf("Active = %d, WouldAdmit must not take a slot", o.Active())
+	}
+	if o.Denied() != 0 {
+		t.Fatalf("Denied = %d, WouldAdmit must not count a denial", o.Denied())
+	}
+	o.Done()
+	if !o.WouldAdmit(0) {
+		t.Fatal("WouldAdmit false after a slot freed")
+	}
+}

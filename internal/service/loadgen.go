@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// LoadResult summarizes one closed-loop load-generation run.
+type LoadResult struct {
+	// Requests is the number of request lines answered.
+	Requests int
+	// Misses counts MISS responses (deadline, overload, conflict).
+	Misses int
+	// Errors counts ERR responses.
+	Errors int
+	// Elapsed is the wall time from first send to last response.
+	Elapsed time.Duration
+	// Throughput is Requests / Elapsed, in requests per second.
+	Throughput float64
+}
+
+// GenerateLoad drives addr with conns closed-loop connections, each
+// keeping up to depth requests in flight, total requests overall. line
+// produces the request line for connection c's i-th request. It is the
+// measurement client behind BenchmarkServiceThroughput and the
+// rodain-experiments front-end figure: closed loop means a connection
+// refills its window only as responses drain, so the offered load
+// self-regulates the way the paper's 200–300 tps sources do.
+func GenerateLoad(addr string, conns, depth, total int, timeout time.Duration, line func(c, i int) string) (LoadResult, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	per := total / conns
+	if per < 1 {
+		per = 1
+	}
+	clients := make([]*Client, conns)
+	for i := range clients {
+		c, err := Dial(addr, timeout)
+		if err != nil {
+			for _, d := range clients[:i] {
+				d.Close()
+			}
+			return LoadResult{}, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	scripts := make([][]string, conns)
+	for c := range scripts {
+		script := make([]string, per)
+		for i := range script {
+			script[i] = line(c, i)
+		}
+		scripts[c] = script
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		res      LoadResult
+		firstErr error
+	)
+	start := simtime.Wall.Now()
+	for c := range clients {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resps, err := clients[c].Pipeline(scripts[c], depth)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Requests += len(resps)
+			for _, r := range resps {
+				switch {
+				case Miss(r):
+					res.Misses++
+				case !OK(r):
+					res.Errors++
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Duration(simtime.Wall.Now().Sub(start))
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	return res, firstErr
+}

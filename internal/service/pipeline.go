@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	rodain "repro"
+	"repro/internal/simtime"
+)
+
+// The per-connection pipeline. One reader goroutine parses ahead up to
+// the configured window, one writer goroutine drains a sequenced reply
+// ring so responses always leave in request order, and a server-wide
+// worker pool executes read-only requests concurrently. Session-mutating
+// commands (DEADLINE, CLASS, QUIT) and update transactions are
+// execution barriers: the reader waits for the in-flight window to
+// drain, then runs them inline, so a connection keeps sequential
+// (read-your-writes) semantics while its lookups overlap freely.
+
+// maxLineBytes bounds one request line, matching the old Scanner limit.
+const maxLineBytes = 1 << 20
+
+// request is one parsed client request flowing through a connection's
+// pipeline. Requests are pooled; every byte slice keeps its capacity
+// across uses, so a warmed-up connection parses and answers without
+// allocating.
+type request struct {
+	cmd    command
+	cmdTok []byte          // verb token (unknown-command echo); into buf
+	args   [maxArgs][]byte // argument tokens; into buf
+	nargs  int
+
+	// Session snapshot at parse time: the deadline/class this request
+	// runs under regardless of later session commands.
+	class    rodain.Class
+	deadline time.Duration
+	arrival  simtime.Time
+
+	buf  []byte // the request line, owned by this request
+	resp []byte // the response line being built (no newline)
+
+	// ready is signalled exactly once per cycle, when resp is complete.
+	ready chan struct{}
+	// done is the owning connection's in-flight counter; set only while
+	// the request is out with the worker pool.
+	done *sync.WaitGroup
+}
+
+var requestPool = sync.Pool{
+	New: func() any { return &request{ready: make(chan struct{}, 1)} },
+}
+
+func getRequest() *request { return requestPool.Get().(*request) }
+
+func putRequest(req *request) {
+	req.cmd = cmdUnknown
+	req.cmdTok = nil
+	for i := range req.args {
+		req.args[i] = nil
+	}
+	req.nargs = 0
+	req.buf = req.buf[:0]
+	req.resp = req.resp[:0]
+	req.done = nil
+	requestPool.Put(req)
+}
+
+// signalReady marks the response complete. It must be the request's
+// last touch by its producer: the writer may recycle it immediately.
+func (req *request) signalReady() { req.ready <- struct{}{} }
+
+// pipeConn is the per-connection pipeline state.
+type pipeConn struct {
+	s    *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	sess session
+
+	// pending is the sequenced reply ring: requests enter in parse
+	// order and the writer drains them in that order; its capacity is
+	// the connection's in-flight window.
+	pending    chan *request
+	inflight   sync.WaitGroup // requests out with the worker pool
+	writerDone chan struct{}
+}
+
+// serve runs one client connection through the pipeline.
+func (s *Server) serve(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // response latency beats segment coalescing
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	br := s.readers.Get().(*bufio.Reader)
+	br.Reset(conn)
+	bw := s.writers.Get().(*bufio.Writer)
+	bw.Reset(conn)
+	c := &pipeConn{
+		s:          s,
+		conn:       conn,
+		br:         br,
+		bw:         bw,
+		sess:       session{deadline: 50 * time.Millisecond, class: rodain.Firm},
+		pending:    make(chan *request, s.cfg.PipelineDepth),
+		writerDone: make(chan struct{}),
+	}
+	c.run()
+	br.Reset(nil)
+	s.readers.Put(br)
+	bw.Reset(nil)
+	s.writers.Put(bw)
+}
+
+func (c *pipeConn) run() {
+	go c.writeLoop()
+	defer func() {
+		close(c.pending)
+		<-c.writerDone
+		c.conn.Close()
+	}()
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return
+		}
+		req := getRequest()
+		req.buf = append(req.buf[:0], line...)
+		if !req.tokenize() {
+			putRequest(req) // blank line
+			continue
+		}
+		req.arrival = c.s.clock.Now()
+		req.class = c.sess.class
+		req.deadline = c.sess.deadline
+
+		switch {
+		case req.cmd == cmdQuit:
+			// Barrier, then answer and hang up (any arguments are
+			// ignored, as they always were).
+			c.barrier()
+			req.resp = append(req.resp[:0], "OK bye"...)
+			c.completeInline(req)
+			return
+
+		case isSessionCmd(req.cmd):
+			// DEADLINE/CLASS: drain the window, then mutate the session
+			// inline so the new settings bind exactly the requests
+			// parsed after this one.
+			c.barrier()
+			req.resp = handleSession(req, &c.sess, req.resp[:0])
+			c.completeInline(req)
+
+		case req.cmd == cmdUnknown:
+			req.resp = appendUnknown(req.resp[:0], req.cmdTok)
+			c.completeInline(req)
+
+		case cmdArgc[req.cmd] >= 0 && req.nargs != cmdArgc[req.cmd]:
+			req.resp = appendUsage(req.resp[:0], req.cmd)
+			c.completeInline(req)
+
+		case isTxnCmd(req.cmd) && c.s.overloadedAtSocket():
+			// Admission at the socket: the overload manager is at its
+			// limit, so the arriving request — the lowest-priority work
+			// in the system — is denied without consuming a worker.
+			req.resp = append(req.resp[:0], "MISS overload"...)
+			c.completeInline(req)
+
+		case isWriteCmd(req.cmd):
+			// Updates are ordering points: drain everything in flight,
+			// run inline, and only then parse ahead again.
+			c.barrier()
+			req.resp = c.s.exec(req, req.resp[:0])
+			c.completeInline(req)
+
+		default:
+			// Read-only request (GET/TRANSLATE/BALANCE/STATS): enter
+			// the reply ring in order, then hand it to the shared
+			// worker pool so many lookups overlap per connection.
+			c.s.depthDist.Observe(len(c.pending) + 1)
+			c.pending <- req
+			c.inflight.Add(1)
+			req.done = &c.inflight
+			c.s.work <- req
+		}
+	}
+}
+
+// barrier waits until every request handed to the worker pool has
+// finished executing (its response is built; the writer may still be
+// flushing it, which preserves ordering on its own).
+func (c *pipeConn) barrier() { c.inflight.Wait() }
+
+// completeInline enqueues a reader-built response into the reply ring.
+func (c *pipeConn) completeInline(req *request) {
+	c.s.depthDist.Observe(len(c.pending) + 1)
+	req.signalReady()
+	c.pending <- req
+}
+
+// readLine returns the next request line (without its newline),
+// enforcing the idle timeout and the line-length bound.
+func (c *pipeConn) readLine() ([]byte, error) {
+	if c.s.cfg.IdleTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.s.cfg.IdleTimeout)) //rodain:allow wallclock (socket I/O deadlines are wall-clock by nature)
+	}
+	line, err := c.br.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		// Long line: accumulate (allocates; off the hot path).
+		acc := append([]byte(nil), line...)
+		for errors.Is(err, bufio.ErrBufferFull) {
+			if len(acc) > maxLineBytes {
+				return nil, bufio.ErrBufferFull
+			}
+			line, err = c.br.ReadSlice('\n')
+			acc = append(acc, line...)
+		}
+		line = acc
+	}
+	if err != nil {
+		if len(line) > 0 && errors.Is(err, io.EOF) {
+			return chompNL(line), nil // final unterminated line
+		}
+		return nil, err
+	}
+	return chompNL(line), nil
+}
+
+func chompNL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
+}
+
+// writeLoop drains the reply ring in sequence, coalescing the flush:
+// the buffered writer is flushed only when no further response is
+// immediately ready — one flush per drained batch, not per request.
+func (c *pipeConn) writeLoop() {
+	defer close(c.writerDone)
+	var werr error
+	dirty := false
+	flush := func() {
+		if dirty && werr == nil {
+			if werr = c.bw.Flush(); werr != nil {
+				// Unstick the reader: it may be blocked on a read
+				// while the client waits for responses we can't send.
+				c.conn.Close()
+			}
+			dirty = false
+		}
+	}
+	for {
+		var req *request
+		select {
+		case req = <-c.pending:
+		default:
+			flush()
+			req = <-c.pending
+		}
+		if req == nil {
+			flush()
+			return
+		}
+		select {
+		case <-req.ready:
+		default:
+			flush()
+			<-req.ready
+		}
+		if werr == nil {
+			c.bw.Write(req.resp)
+			c.bw.WriteByte('\n')
+			dirty = true
+		}
+		c.s.reqLat.Observe(c.s.clock.Now().Sub(req.arrival))
+		putRequest(req)
+	}
+}
+
+// worker executes read-only requests from every connection.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for req := range s.work {
+		req.resp = s.exec(req, req.resp[:0])
+		done := req.done
+		req.done = nil
+		req.signalReady() // last touch: the writer owns req now
+		done.Done()
+	}
+}

@@ -21,6 +21,14 @@
 // Responses: "OK ...", "ERR <reason>", or "MISS <reason>" for real-time
 // aborts (deadline, overload, conflict) — the client counts those
 // toward the miss ratio.
+//
+// Clients may pipeline: many request lines may be written before the
+// first response is read. Responses always come back in request order.
+// Within one connection, read-only requests execute concurrently on a
+// shared worker pool while update and session-mutating commands
+// (SET/DEL/REROUTE/CHARGE/TOPUP, DEADLINE/CLASS/QUIT) act as execution
+// barriers, so a pipelined connection observes exactly the transcript a
+// serial one would (read-your-writes). See DESIGN.md §8.
 package service
 
 import (
@@ -29,39 +37,133 @@ import (
 	"fmt"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	rodain "repro"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
 	"repro/internal/telecom"
 )
 
+// Defaults for Config's zero values.
+const (
+	// DefaultPipelineDepth is the per-connection in-flight window.
+	DefaultPipelineDepth = 16
+	// DefaultWorkers sizes the shared read-request execution pool.
+	DefaultWorkers = 16
+)
+
+// Config tunes the service front end.
+type Config struct {
+	// PipelineDepth bounds how many requests one connection may have in
+	// flight: parsed ahead, executing, or waiting their turn in the
+	// reply ring. 1 disables pipelining (the ablation knob measured in
+	// EXPERIMENTS.md); 0 means DefaultPipelineDepth.
+	PipelineDepth int
+	// Workers sizes the shared pool executing read-only requests from
+	// all connections. 0 means DefaultWorkers.
+	Workers int
+	// IdleTimeout disconnects a client that sends nothing for this
+	// long, so dead connections cannot pin pooled buffers and
+	// goroutines forever. 0 disables the timeout.
+	IdleTimeout time.Duration
+	// Clock stamps request arrivals for queue-expiry checks and the
+	// request-latency histogram. Nil means the shared wall clock.
+	Clock simtime.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = DefaultPipelineDepth
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.Clock == nil {
+		c.Clock = simtime.Wall
+	}
+	return c
+}
+
 // Server serves the client protocol over a DB node.
 type Server struct {
-	db *rodain.DB
+	db    *rodain.DB
+	cfg   Config
+	clock simtime.Clock
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	work        chan *request
+	workersOnce sync.Once
+	workerWG    sync.WaitGroup
+
+	readers sync.Pool // *bufio.Reader
+	writers sync.Pool // *bufio.Writer
+
+	// Front-end measurements, reported by STATS.
+	depthDist    metrics.IntDist   // reply-ring occupancy at enqueue
+	reqLat       metrics.Histogram // parse → response-written latency
+	sockOverload atomic.Uint64     // MISS overload answered at the socket
+	sockExpired  atomic.Uint64     // MISS deadline answered on dequeue
 }
 
-// NewServer returns a server over db.
-func NewServer(db *rodain.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+// NewServer returns a server over db with default front-end settings.
+func NewServer(db *rodain.DB) *Server { return NewServerConfig(db, Config{}) }
+
+// NewServerConfig returns a server over db with explicit front-end
+// settings (pipeline window, worker pool, idle timeout).
+func NewServerConfig(db *rodain.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:    db,
+		cfg:   cfg,
+		clock: cfg.Clock,
+		conns: make(map[net.Conn]struct{}),
+		readers: sync.Pool{New: func() any {
+			return bufio.NewReaderSize(nil, 1<<16)
+		}},
+		writers: sync.Pool{New: func() any {
+			return bufio.NewWriterSize(nil, 1<<16)
+		}},
+	}
 }
 
-// Listen starts accepting clients on addr and returns the bound address.
+// Listen starts accepting clients on addr and returns the bound
+// address. It fails on a server that has been closed.
 func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("service: server closed")
+	}
+	s.mu.Unlock()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	s.mu.Lock()
-	s.listener = l
+	if s.closed {
+		// Closed while binding: don't leak the listener or start an
+		// accept loop on a dead server.
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("service: server closed")
+	}
+	s.listeners = append(s.listeners, l)
 	s.mu.Unlock()
+	s.workersOnce.Do(func() {
+		s.work = make(chan *request)
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workerWG.Add(1)
+			go s.worker()
+		}
+	})
 	s.wg.Add(1)
 	go s.acceptLoop(l)
 	return l.Addr().String(), nil
@@ -93,47 +195,30 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
-// Close stops the listener and disconnects clients.
+// Close stops the listeners, disconnects clients and shuts the worker
+// pool down. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	already := s.closed
 	s.closed = true
-	l := s.listener
+	ls := s.listeners
+	s.listeners = nil
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if l != nil {
-		err = l.Close()
+	for _, l := range ls {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
 	}
 	s.wg.Wait()
-	return err
-}
-
-func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 1<<16), 1<<20)
-	w := bufio.NewWriter(conn)
-	sess := &session{deadline: 50 * time.Millisecond, class: rodain.Firm}
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
-			continue
-		}
-		fields := strings.Fields(line)
-		cmd := strings.ToUpper(fields[0])
-		if cmd == "QUIT" {
-			fmt.Fprintln(w, "OK bye")
-			w.Flush()
-			return
-		}
-		resp := s.handle(cmd, fields[1:], sess)
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
-			return
-		}
+	if !already && s.work != nil {
+		close(s.work)
 	}
+	s.workerWG.Wait()
+	return err
 }
 
 // session holds per-connection transaction settings.
@@ -142,114 +227,122 @@ type session struct {
 	class    rodain.Class
 }
 
-// view runs fn with the session's class and deadline, declared
-// read-only: GET/TRANSLATE/BALANCE lookups ride the snapshot fast path
-// (lock-free reads, no conflict registration, commit without a log
-// record).
-func (s *Server) view(sess *session, fn func(*rodain.Tx) error) error {
-	return s.db.ExecReadOnly(sess.class, sess.deadline, 0, fn)
+// overloadedAtSocket consults the overload manager before any work is
+// queued: at the limit, an arriving request is answered MISS overload
+// straight from the reader, consuming no pipeline slot downstream.
+func (s *Server) overloadedAtSocket() bool {
+	if !s.db.Overloaded() {
+		return false
+	}
+	s.sockOverload.Add(1)
+	return true
 }
 
-// update runs fn with the session's class and deadline.
-func (s *Server) update(sess *session, fn func(*rodain.Tx) error) error {
-	return s.db.Exec(sess.class, sess.deadline, 0, fn)
+// view runs fn declared read-only: GET/TRANSLATE/BALANCE lookups ride
+// the snapshot fast path (lock-free reads, no conflict registration,
+// commit without a log record).
+func (s *Server) view(req *request, deadline time.Duration, fn func(*rodain.Tx) error) error {
+	return s.db.ExecReadOnly(req.class, deadline, 0, fn)
 }
 
-func (s *Server) handle(cmd string, args []string, sess *session) string {
-	switch cmd {
-	case "DEADLINE":
-		if len(args) != 1 {
-			return "ERR usage: DEADLINE <ms>"
+// update runs fn with the request's class and remaining deadline.
+func (s *Server) update(req *request, deadline time.Duration, fn func(*rodain.Tx) error) error {
+	return s.db.Exec(req.class, deadline, 0, fn)
+}
+
+// remainingDeadline converts the request's parse-time deadline tag into
+// the budget left at execution time. Firm requests whose budget is gone
+// report expired=true and are MISSed without executing; soft requests
+// keep a token budget so the engine still counts them late.
+func (s *Server) remainingDeadline(req *request) (d time.Duration, expired bool) {
+	if req.class == rodain.NonRealTime || req.deadline <= 0 {
+		return req.deadline, false
+	}
+	left := req.deadline - time.Duration(s.clock.Now().Sub(req.arrival))
+	if left > 0 {
+		return left, false
+	}
+	if req.class == rodain.Firm {
+		return 0, true
+	}
+	return time.Nanosecond, false
+}
+
+// exec executes one validated, non-session request and appends its
+// response line to resp. It runs on a pool worker for read-only
+// commands and inline on the connection reader for updates.
+func (s *Server) exec(req *request, resp []byte) []byte {
+	deadline := req.deadline
+	if isTxnCmd(req.cmd) {
+		var expired bool
+		if deadline, expired = s.remainingDeadline(req); expired {
+			// Tagged deadline already passed while queued: answer the
+			// miss on dequeue without consuming execution time.
+			s.sockExpired.Add(1)
+			return append(resp, "MISS deadline"...)
 		}
-		ms, err := strconv.Atoi(args[0])
-		if err != nil || ms <= 0 {
-			return "ERR bad deadline"
-		}
-		sess.deadline = time.Duration(ms) * time.Millisecond
-		return "OK"
-	case "CLASS":
-		if len(args) != 1 {
-			return "ERR usage: CLASS firm|soft|nonrt"
-		}
-		switch strings.ToLower(args[0]) {
-		case "firm":
-			sess.class = rodain.Firm
-		case "soft":
-			sess.class = rodain.Soft
-		case "nonrt":
-			sess.class = rodain.NonRealTime
-		default:
-			return "ERR unknown class " + args[0]
-		}
-		return "OK"
-	case "GET":
-		if len(args) != 1 {
-			return "ERR usage: GET <id>"
-		}
-		id, err := parseID(args[0])
-		if err != nil {
-			return "ERR " + err.Error()
+	}
+	switch req.cmd {
+	case cmdGet:
+		id, ok := parseUintBytes(req.args[0])
+		if !ok {
+			return appendBadID(resp, req.args[0])
 		}
 		var value []byte
-		err = s.view(sess, func(tx *rodain.Tx) error {
-			v, err := tx.Read(id)
+		err := s.view(req, deadline, func(tx *rodain.Tx) error {
+			v, err := tx.Read(rodain.ObjectID(id))
 			value = v
 			return err
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return "OK " + strconv.Quote(string(value))
-	case "SET":
-		if len(args) != 2 {
-			return "ERR usage: SET <id> <value>"
+		resp = append(resp, "OK "...)
+		return strconv.AppendQuote(resp, string(value))
+
+	case cmdSet:
+		id, ok := parseUintBytes(req.args[0])
+		if !ok {
+			return appendBadID(resp, req.args[0])
 		}
-		id, err := parseID(args[0])
+		value, err := strconv.Unquote(string(req.args[1]))
 		if err != nil {
-			return "ERR " + err.Error()
+			value = string(req.args[1]) // allow bare words
 		}
-		value, err := strconv.Unquote(args[1])
-		if err != nil {
-			value = args[1] // allow bare words
-		}
-		err = s.update(sess, func(tx *rodain.Tx) error {
-			if _, err := tx.ReadView(id); err != nil { // existence check only
+		err = s.update(req, deadline, func(tx *rodain.Tx) error {
+			if _, err := tx.ReadView(rodain.ObjectID(id)); err != nil { // existence check only
 				return err
 			}
-			return tx.Write(id, []byte(value))
+			return tx.Write(rodain.ObjectID(id), []byte(value))
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return "OK"
-	case "DEL":
-		if len(args) != 1 {
-			return "ERR usage: DEL <id>"
+		return append(resp, "OK"...)
+
+	case cmdDel:
+		id, ok := parseUintBytes(req.args[0])
+		if !ok {
+			return appendBadID(resp, req.args[0])
 		}
-		id, err := parseID(args[0])
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		err = s.update(sess, func(tx *rodain.Tx) error {
-			if _, err := tx.ReadView(id); err != nil { // existence check only
+		err := s.update(req, deadline, func(tx *rodain.Tx) error {
+			if _, err := tx.ReadView(rodain.ObjectID(id)); err != nil { // existence check only
 				return err
 			}
-			return tx.Delete(id)
+			return tx.Delete(rodain.ObjectID(id))
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return "OK"
-	case "TRANSLATE":
-		if len(args) != 1 {
-			return "ERR usage: TRANSLATE <number>"
-		}
-		id, err := telecom.NumberToID(args[0])
+		return append(resp, "OK"...)
+
+	case cmdTranslate:
+		id, err := telecom.NumberToID(string(req.args[0]))
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(resp, err)
 		}
 		var entry *telecom.Entry
-		err = s.view(sess, func(tx *rodain.Tx) error {
+		err = s.view(req, deadline, func(tx *rodain.Tx) error {
 			e, err := telecom.Translate(func(id rodain.ObjectID) ([]byte, bool) {
 				// Translate decodes and discards, so the zero-copy
 				// borrowed read is safe.
@@ -260,18 +353,17 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			return err
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return fmt.Sprintf("OK %s v%d", entry.Routed, entry.Version)
-	case "REROUTE":
-		if len(args) != 2 {
-			return "ERR usage: REROUTE <number> <dest>"
-		}
-		id, err := telecom.NumberToID(args[0])
+		return fmt.Appendf(resp, "OK %s v%d", entry.Routed, entry.Version)
+
+	case cmdReroute:
+		id, err := telecom.NumberToID(string(req.args[0]))
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(resp, err)
 		}
-		err = s.update(sess, func(tx *rodain.Tx) error {
+		dest := string(req.args[1])
+		err = s.update(req, deadline, func(tx *rodain.Tx) error {
 			v, err := tx.ReadView(id) // decoded below before any write is staged
 			if err != nil {
 				return err
@@ -280,24 +372,22 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			if err != nil {
 				return err
 			}
-			return tx.Write(id, telecom.Encode(telecom.Reroute(old, args[1])))
+			return tx.Write(id, telecom.Encode(telecom.Reroute(old, dest)))
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return "OK"
-	case "BALANCE":
-		if len(args) != 1 {
-			return "ERR usage: BALANCE <subscriber>"
-		}
-		idx, err := strconv.Atoi(args[0])
-		if err != nil || idx < 0 {
-			return "ERR bad subscriber index"
+		return append(resp, "OK"...)
+
+	case cmdBalance:
+		idx, ok := parseIntBytes(req.args[0])
+		if !ok || idx < 0 {
+			return append(resp, "ERR bad subscriber index"...)
 		}
 		var balance int64
 		var prepaid bool
-		err = s.view(sess, func(tx *rodain.Tx) error {
-			enc, err := tx.ReadView(telecom.SubscriberID(idx))
+		err := s.view(req, deadline, func(tx *rodain.Tx) error {
+			enc, err := tx.ReadView(telecom.SubscriberID(int(idx)))
 			if err != nil {
 				return err
 			}
@@ -310,33 +400,32 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			return nil
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
 		kind := "postpaid"
 		if prepaid {
 			kind = "prepaid"
 		}
-		return fmt.Sprintf("OK %d %s", balance, kind)
-	case "CHARGE", "TOPUP":
-		if len(args) != 2 {
-			return "ERR usage: " + cmd + " <subscriber> <cents>"
+		return fmt.Appendf(resp, "OK %d %s", balance, kind)
+
+	case cmdCharge, cmdTopup:
+		idx, ok := parseIntBytes(req.args[0])
+		if !ok || idx < 0 {
+			return append(resp, "ERR bad subscriber index"...)
 		}
-		idx, err := strconv.Atoi(args[0])
-		if err != nil || idx < 0 {
-			return "ERR bad subscriber index"
+		cents, ok := parseIntBytes(req.args[1])
+		if !ok {
+			return append(resp, "ERR bad amount"...)
 		}
-		cents, err := strconv.ParseInt(args[1], 10, 64)
-		if err != nil {
-			return "ERR bad amount"
-		}
-		err = s.update(sess, func(tx *rodain.Tx) error {
-			id := telecom.SubscriberID(idx)
+		charge := req.cmd == cmdCharge
+		err := s.update(req, deadline, func(tx *rodain.Tx) error {
+			id := telecom.SubscriberID(int(idx))
 			enc, err := tx.ReadView(id) // consumed by Charge/TopUp before the write
 			if err != nil {
 				return err
 			}
 			var next []byte
-			if cmd == "CHARGE" {
+			if charge {
 				next, err = telecom.Charge(enc, cents)
 			} else {
 				next, err = telecom.TopUp(enc, cents)
@@ -347,25 +436,88 @@ func (s *Server) handle(cmd string, args []string, sess *session) string {
 			return tx.Write(id, next)
 		})
 		if err != nil {
-			return classify(err)
+			return appendClassified(resp, err)
 		}
-		return "OK"
-	case "STATS":
+		return append(resp, "OK"...)
+
+	case cmdStats:
 		st := s.db.Stats()
-		return fmt.Sprintf("OK mode=%s log=%s submitted=%d committed=%d missed=%d miss=%.4f resp=%v cwait=%v",
+		lat := s.reqLat.Summary()
+		return fmt.Appendf(resp,
+			"OK mode=%s log=%s submitted=%d committed=%d missed=%d miss=%.4f resp=%v cwait=%v pdepth=%.1f/%d reqp50=%v reqp95=%v sockmiss=%d",
 			st.Mode, st.LogMode, st.Outcome.Submitted, st.Outcome.Committed,
-			st.Outcome.Missed, st.MissRatio, st.MeanResponse, st.MeanCommitWait)
-	default:
-		return "ERR unknown command " + cmd
+			st.Outcome.Missed, st.MissRatio, st.MeanResponse, st.MeanCommitWait,
+			s.depthDist.Mean(), s.depthDist.Max(), lat.P50, lat.P95,
+			s.sockOverload.Load()+s.sockExpired.Load())
 	}
+	return appendUnknown(resp, req.cmdTok) // unreachable: the reader filters
 }
 
-func parseID(s string) (rodain.ObjectID, error) {
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad object id %q", s)
+// handleSession applies a session-mutating command (DEADLINE, CLASS) to
+// sess and appends the response. It runs on the connection reader,
+// after the pipeline barrier.
+func handleSession(req *request, sess *session, resp []byte) []byte {
+	if cmdArgc[req.cmd] >= 0 && req.nargs != cmdArgc[req.cmd] {
+		return appendUsage(resp, req.cmd)
 	}
-	return rodain.ObjectID(v), nil
+	switch req.cmd {
+	case cmdDeadline:
+		ms, ok := parseIntBytes(req.args[0])
+		if !ok || ms <= 0 {
+			return append(resp, "ERR bad deadline"...)
+		}
+		sess.deadline = time.Duration(ms) * time.Millisecond
+		return append(resp, "OK"...)
+	case cmdClass:
+		arg := req.args[0]
+		switch {
+		case eqFold(arg, "FIRM"):
+			sess.class = rodain.Firm
+		case eqFold(arg, "SOFT"):
+			sess.class = rodain.Soft
+		case eqFold(arg, "NONRT"):
+			sess.class = rodain.NonRealTime
+		default:
+			resp = append(resp, "ERR unknown class "...)
+			return append(resp, arg...)
+		}
+		return append(resp, "OK"...)
+	}
+	return resp
+}
+
+// --- response builders -------------------------------------------------------
+
+func appendUsage(resp []byte, c command) []byte {
+	resp = append(resp, "ERR usage: "...)
+	return append(resp, cmdUsage[c]...)
+}
+
+func appendUnknown(resp, cmdTok []byte) []byte {
+	resp = append(resp, "ERR unknown command "...)
+	for _, c := range cmdTok {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		resp = append(resp, c)
+	}
+	return resp
+}
+
+func appendBadID(resp, tok []byte) []byte {
+	resp = append(resp, "ERR bad object id "...)
+	return strconv.AppendQuote(resp, string(tok))
+}
+
+func appendErr(resp []byte, err error) []byte {
+	resp = append(resp, "ERR "...)
+	return append(resp, err.Error()...)
+}
+
+// appendClassified maps real-time aborts to MISS responses so clients
+// can count them; everything else is an ERR.
+func appendClassified(resp []byte, err error) []byte {
+	return append(resp, classify(err)...)
 }
 
 // classify maps real-time aborts to MISS responses so clients can count
@@ -399,6 +551,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
@@ -414,6 +569,40 @@ func (c *Client) Do(line string) (string, error) {
 	if err := c.w.Flush(); err != nil {
 		return "", err
 	}
+	return c.readLocked()
+}
+
+// Pipeline sends every line keeping up to depth requests in flight
+// (closed loop) and returns the responses in request order. depth < 1
+// is treated as 1, which degenerates to serial Do calls.
+func (c *Client) Pipeline(lines []string, depth int) ([]string, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resps := make([]string, 0, len(lines))
+	sent := 0
+	for len(resps) < len(lines) {
+		for sent < len(lines) && sent-len(resps) < depth {
+			if _, err := fmt.Fprintln(c.w, lines[sent]); err != nil {
+				return resps, err
+			}
+			sent++
+		}
+		if err := c.w.Flush(); err != nil {
+			return resps, err
+		}
+		resp, err := c.readLocked()
+		if err != nil {
+			return resps, err
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
+}
+
+func (c *Client) readLocked() (string, error) {
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
 			return "", err
@@ -424,10 +613,10 @@ func (c *Client) Do(line string) (string, error) {
 }
 
 // Miss reports whether a response line is a real-time miss.
-func Miss(resp string) bool { return strings.HasPrefix(resp, "MISS") }
+func Miss(resp string) bool { return len(resp) >= 4 && resp[:4] == "MISS" }
 
 // OK reports whether a response line is a success.
-func OK(resp string) bool { return strings.HasPrefix(resp, "OK") }
+func OK(resp string) bool { return len(resp) >= 2 && resp[:2] == "OK" }
 
 // Close disconnects.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -125,7 +125,7 @@ func TestQuit(t *testing.T) {
 func TestConcurrentClients(t *testing.T) {
 	srv, _, db := startServer(t)
 	_ = db
-	addr := srv.listener.Addr().String()
+	addr := srv.listeners[0].Addr().String()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

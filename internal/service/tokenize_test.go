@@ -1,0 +1,165 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// refFields is the reference splitter tokenize must agree with: the
+// old strings.Fields behaviour restricted to the protocol's separator
+// set (space, tab, carriage return).
+func refFields(line []byte) [][]byte {
+	var out [][]byte
+	cur := -1
+	for i := 0; i <= len(line); i++ {
+		sep := i == len(line) || isFieldSep(line[i])
+		switch {
+		case !sep && cur < 0:
+			cur = i
+		case sep && cur >= 0:
+			out = append(out, line[cur:i])
+			cur = -1
+		}
+	}
+	return out
+}
+
+func TestTokenizeGolden(t *testing.T) {
+	cases := []struct {
+		line  string
+		cmd   command
+		nargs int
+		args  []string
+	}{
+		{"GET 5", cmdGet, 1, []string{"5"}},
+		{"get 5", cmdGet, 1, []string{"5"}},
+		{"  GET\t5\r", cmdGet, 1, []string{"5"}},
+		{`SET 5 "hello"`, cmdSet, 2, []string{"5", `"hello"`}},
+		{"TRANSLATE 0401234567", cmdTranslate, 1, []string{"0401234567"}},
+		{"BALANCE 17", cmdBalance, 1, []string{"17"}},
+		{"charge 0 300", cmdCharge, 2, []string{"0", "300"}},
+		{"TOPUP 0 50", cmdTopup, 2, []string{"0", "50"}},
+		{"DeadLine 200", cmdDeadline, 1, []string{"200"}},
+		{"CLASS soft", cmdClass, 1, []string{"soft"}},
+		{"STATS", cmdStats, 0, nil},
+		{"QUIT now really", cmdQuit, 2, []string{"now", "really"}},
+		{"DEL 9", cmdDel, 1, []string{"9"}},
+		{"REROUTE 42 +358", cmdReroute, 2, []string{"42", "+358"}},
+		{"FROB 1", cmdUnknown, 1, []string{"1"}},
+		{"GETT 1", cmdUnknown, 1, []string{"1"}},
+		{"SET a b c d e", cmdSet, 5, []string{"a", "b", "c"}},
+	}
+	for _, tc := range cases {
+		req := getRequest()
+		req.buf = append(req.buf[:0], tc.line...)
+		if !req.tokenize() {
+			t.Fatalf("%q: tokenize reported blank", tc.line)
+		}
+		if req.cmd != tc.cmd {
+			t.Errorf("%q: cmd = %v, want %v", tc.line, req.cmd, tc.cmd)
+		}
+		if req.nargs != tc.nargs {
+			t.Errorf("%q: nargs = %d, want %d", tc.line, req.nargs, tc.nargs)
+		}
+		for i, want := range tc.args {
+			if string(req.args[i]) != want {
+				t.Errorf("%q: arg %d = %q, want %q", tc.line, i, req.args[i], want)
+			}
+		}
+		putRequest(req)
+	}
+	for _, blank := range []string{"", "   ", "\t", "\r", " \t \r "} {
+		req := getRequest()
+		req.buf = append(req.buf[:0], blank...)
+		if req.tokenize() {
+			t.Errorf("%q: tokenize reported non-blank", blank)
+		}
+		putRequest(req)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	for _, s := range []string{"0", "5", "18446744073709551615", "184467440737095516159", "x", "", "-1", "+1", "1x"} {
+		got, ok := parseUintBytes([]byte(s))
+		want, err := strconv.ParseUint(s, 10, 64)
+		if ok != (err == nil) || (ok && got != want) {
+			t.Errorf("parseUintBytes(%q) = %d,%v; strconv: %d,%v", s, got, ok, want, err)
+		}
+	}
+	for _, s := range []string{"0", "-1", "+1", "9223372036854775807", "9223372036854775808", "x", "", "--1", "1 2"} {
+		got, ok := parseIntBytes([]byte(s))
+		want, err := strconv.ParseInt(s, 10, 64)
+		if ok != (err == nil) || (ok && got != want) {
+			t.Errorf("parseIntBytes(%q) = %d,%v; strconv: %d,%v", s, got, ok, want, err)
+		}
+	}
+	// The single deliberate divergence: math.MinInt64 is rejected.
+	if _, ok := parseIntBytes([]byte("-9223372036854775808")); ok {
+		t.Error("parseIntBytes accepted MinInt64")
+	}
+}
+
+// FuzzTokenize feeds arbitrary bytes to the request tokenizer: it must
+// never panic, must agree with the reference splitter, and its numeric
+// parsers must agree with strconv.
+func FuzzTokenize(f *testing.F) {
+	f.Add([]byte("GET 5"))
+	f.Add([]byte(`SET 5 "hello world"`))
+	f.Add([]byte("  \t\rTRANSLATE\t0401234567  "))
+	f.Add([]byte("CHARGE 0 -300 extra junk here"))
+	f.Add([]byte{0x00, 0xff, ' ', 0xfe})
+	f.Add(bytes.Repeat([]byte("A "), 100))
+	f.Add([]byte("деадлайн 5")) // non-ASCII stays one token
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if bytes.ContainsRune(data, '\n') {
+			return // a line never contains its own terminator
+		}
+		req := getRequest()
+		defer putRequest(req)
+		req.buf = append(req.buf[:0], data...)
+		fields := refFields(req.buf)
+		ok := req.tokenize()
+		if ok != (len(fields) > 0) {
+			t.Fatalf("tokenize(%q) ok=%v, reference found %d fields", data, ok, len(fields))
+		}
+		if !ok {
+			return
+		}
+		if !bytes.Equal(req.cmdTok, fields[0]) {
+			t.Fatalf("cmdTok = %q, want %q", req.cmdTok, fields[0])
+		}
+		if req.nargs != len(fields)-1 {
+			t.Fatalf("nargs = %d, want %d", req.nargs, len(fields)-1)
+		}
+		for i := 0; i < req.nargs && i < maxArgs; i++ {
+			if !bytes.Equal(req.args[i], fields[i+1]) {
+				t.Fatalf("arg %d = %q, want %q", i, req.args[i], fields[i+1])
+			}
+		}
+		if req.cmd >= commandCount {
+			t.Fatalf("cmd out of range: %d", req.cmd)
+		}
+		if req.cmd != cmdUnknown && !eqFold(req.cmdTok, cmdName[req.cmd]) {
+			t.Fatalf("cmd %v does not fold-match token %q", req.cmd, req.cmdTok)
+		}
+		// Numeric parsers agree with strconv on every token.
+		for _, tok := range fields {
+			s := string(tok)
+			u, uok := parseUintBytes(tok)
+			su, uerr := strconv.ParseUint(s, 10, 64)
+			if uok != (uerr == nil) || (uok && u != su) {
+				t.Fatalf("parseUintBytes(%q) = %d,%v; strconv %d,%v", s, u, uok, su, uerr)
+			}
+			i, iok := parseIntBytes(tok)
+			si, ierr := strconv.ParseInt(s, 10, 64)
+			if iok && (ierr != nil || i != si) {
+				t.Fatalf("parseIntBytes(%q) = %d; strconv %d,%v", s, i, si, ierr)
+			}
+			if !iok && ierr == nil && si != math.MinInt64 {
+				t.Fatalf("parseIntBytes(%q) rejected; strconv accepted %d", s, si)
+			}
+		}
+	})
+}

@@ -381,6 +381,17 @@ func (db *DB) ReplAddr() string { return db.node.ReplAddr() }
 // Serving reports whether the node currently executes transactions.
 func (db *DB) Serving() bool { return db.node.Engine() != nil }
 
+// Overloaded reports whether the overload manager would deny an
+// arriving transaction right now. A service front end consults it at
+// the socket to answer MISS overload without queueing any work; the
+// check is advisory — admission proper still happens per transaction.
+// It is false on a node that is not serving (those requests fail with
+// ErrNotServing instead).
+func (db *DB) Overloaded() bool {
+	e := db.node.Engine()
+	return e != nil && e.AtAdmissionLimit()
+}
+
 // Stats summarizes the node's transaction processing so far.
 type Stats struct {
 	// Outcome is the submitted/committed/missed tally.
